@@ -1,0 +1,280 @@
+// Command riskbench reproduces the paper's evaluation tables on the
+// simulated cluster, or runs a live local farm over a generated
+// portfolio.
+//
+// Reproduce a table (time and speedup ratio per CPU count):
+//
+//	riskbench -table 3
+//	riskbench -table 2 -maxcpus 16
+//
+// Run every table, like the paper's evaluation section:
+//
+//	riskbench -all
+//
+// Run a live farm (goroutine workers, real pricing) over a portfolio:
+//
+//	riskbench -live -portfolio toy -n 2000 -workers 8 -strategy serialized
+//
+// List the registered pricing methods:
+//
+//	riskbench -methods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"riskbench/internal/bench"
+	"riskbench/internal/farm"
+	"riskbench/internal/mpi"
+	"riskbench/internal/portfolio"
+	"riskbench/internal/premia"
+)
+
+func main() {
+	var (
+		tableN    = flag.Int("table", 0, "reproduce table 1, 2 or 3 on the simulator")
+		all       = flag.Bool("all", false, "reproduce all three tables")
+		maxCPUs   = flag.Int("maxcpus", 0, "truncate the table's CPU counts (0 = full sweep)")
+		live      = flag.Bool("live", false, "run a live farm with real pricing instead of the simulator")
+		pfName    = flag.String("portfolio", "toy", "live portfolio: toy | regression | realistic | mixed")
+		n         = flag.Int("n", 1000, "toy portfolio size (live mode)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "live worker count")
+		stratName = flag.String("strategy", "serialized", "communication strategy: full | nfs | serialized")
+		batch     = flag.Int("batch", 1, "tasks per message batch")
+		methods   = flag.Bool("methods", false, "list registered pricing methods and exit")
+		util      = flag.Bool("utilization", false, "report worker utilization across CPU counts on the simulator")
+		selftest  = flag.Bool("selftest", false, "run the §4.1 non-regression suite live and report per-method results")
+		calibrate = flag.Bool("calibrate", false, "measure per-class costs on this machine before simulating (-table mode)")
+	)
+	flag.Parse()
+
+	switch {
+	case *selftest:
+		runSelfTest(*workers)
+	case *util:
+		runUtilization(*pfName, *n, *stratName, *batch)
+	case *methods:
+		for _, m := range premia.Methods() {
+			models, options := premia.Compatibles(m)
+			fmt.Printf("%-34s models=%v options=%v\n", m, models, options)
+		}
+	case *all:
+		for _, spec := range []bench.TableSpec{bench.TableI(), bench.TableII(), bench.TableIII()} {
+			spec.MaxCPUs = *maxCPUs
+			runTable(spec, *calibrate)
+		}
+	case *tableN != 0:
+		var spec bench.TableSpec
+		switch *tableN {
+		case 1:
+			spec = bench.TableI()
+		case 2:
+			spec = bench.TableII()
+		case 3:
+			spec = bench.TableIII()
+		default:
+			fatalf("unknown table %d (want 1, 2 or 3)", *tableN)
+		}
+		spec.MaxCPUs = *maxCPUs
+		runTable(spec, *calibrate)
+	case *live:
+		runLive(*pfName, *n, *workers, *stratName, *batch)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "riskbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runTable(spec bench.TableSpec, calibrate bool) {
+	if calibrate {
+		fmt.Fprintln(os.Stderr, "calibrating per-class costs on this machine...")
+		if err := spec.Portfolio.CalibrateCosts(0.01); err != nil {
+			fatalf("calibrate: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "calibrated total work: %.1f s\n", spec.Portfolio.TotalCost())
+	}
+	start := time.Now()
+	tbl, err := bench.RunTable(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(tbl.Format())
+	fmt.Printf("(simulated on %d claims in %v wall time)\n\n", spec.Portfolio.Size(), time.Since(start).Round(time.Millisecond))
+}
+
+func parseStrategy(name string) farm.Strategy {
+	switch name {
+	case "full":
+		return farm.FullLoad
+	case "nfs":
+		return farm.NFSLoad
+	case "serialized":
+		return farm.SerializedLoad
+	default:
+		fatalf("unknown strategy %q (want full, nfs or serialized)", name)
+		panic("unreachable")
+	}
+}
+
+func buildPortfolio(name string, n int) *portfolio.Portfolio {
+	switch name {
+	case "toy":
+		return portfolio.Toy(n)
+	case "regression":
+		return portfolio.Regression()
+	case "mixed":
+		return portfolio.Mixed(n)
+	case "realistic":
+		fmt.Fprintln(os.Stderr, "note: live realistic portfolio uses the paper's full Monte Carlo sizes; this takes hours")
+		return portfolio.Realistic()
+	default:
+		fatalf("unknown portfolio %q", name)
+		panic("unreachable")
+	}
+}
+
+// runSelfTest is the live counterpart of the paper's §4.1 non-regression
+// runs: every registered pricing problem is farmed over local workers,
+// and per-method counts, timings and sanity checks are reported.
+func runSelfTest(workers int) {
+	pf := portfolio.Regression()
+	tasks, err := pf.Tasks()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := farm.Options{Strategy: farm.SerializedLoad}
+	world := mpi.NewLocalWorld(workers + 1)
+	defer world.Close()
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
+			}
+		}(r)
+	}
+	start := time.Now()
+	results, err := farm.RunMaster(world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	if err != nil {
+		fatalf("master: %v", err)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	methodOf := map[string]string{}
+	for _, it := range pf.Items {
+		methodOf[it.Name] = it.Problem.Method
+	}
+	type stat struct{ n, bad int }
+	perMethod := map[string]*stat{}
+	for _, r := range results {
+		m := methodOf[r.Name]
+		s := perMethod[m]
+		if s == nil {
+			s = &stat{}
+			perMethod[m] = s
+		}
+		s.n++
+		price, ok := farm.ResultField(r, "price")
+		if r.Err != nil || !ok || price != price /* NaN */ || price < -1e-9 {
+			s.bad++
+		}
+	}
+	fmt.Printf("non-regression suite: %d problems in %v on %d workers\n\n",
+		len(results), elapsed.Round(time.Millisecond), workers)
+	fmt.Printf("%-34s%8s%8s\n", "method", "tests", "failed")
+	failed := 0
+	for _, m := range premia.Methods() {
+		s := perMethod[m]
+		if s == nil {
+			continue
+		}
+		fmt.Printf("%-34s%8d%8d\n", m, s.n, s.bad)
+		failed += s.bad
+	}
+	if failed > 0 {
+		fatalf("%d tests failed", failed)
+	}
+	fmt.Println("\nall tests passed")
+}
+
+func runUtilization(pfName string, n int, stratName string, batch int) {
+	strat := parseStrategy(stratName)
+	pf := buildPortfolio(pfName, n)
+	tasks, err := pf.Tasks()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("worker utilization, portfolio %s (%d claims), %s strategy, batch %d\n",
+		pf.Name, pf.Size(), strat, batch)
+	fmt.Printf("%8s %12s %14s %14s\n", "CPUs", "Time (s)", "mean util", "master busy")
+	for _, cpus := range []int{2, 4, 8, 16, 32, 64, 128} {
+		rc := bench.RunConfig{Tasks: tasks, CPUs: cpus, Strategy: strat, BatchSize: batch}
+		if strat == farm.NFSLoad {
+			fatalf("utilization mode does not support the NFS strategy")
+		}
+		stats, err := bench.RunWithStats(rc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%8d %12.3f %13.1f%% %13.3fs\n",
+			cpus, stats.Makespan, 100*stats.MeanUtilization, stats.MasterBusy)
+	}
+}
+
+func runLive(pfName string, n, workers int, stratName string, batch int) {
+	strat := parseStrategy(stratName)
+	pf := buildPortfolio(pfName, n)
+	tasks, err := pf.Tasks()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var store farm.Store
+	if strat == farm.NFSLoad {
+		ms := farm.MemStore{}
+		for _, t := range tasks {
+			ms[t.Name] = t.Data
+		}
+		store = ms
+	}
+	opts := farm.Options{Strategy: strat, BatchSize: batch}
+	world := mpi.NewLocalWorld(workers + 1)
+	defer world.Close()
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, store, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
+			}
+		}(r)
+	}
+	start := time.Now()
+	results, err := farm.RunMaster(world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	if err != nil {
+		fatalf("master: %v", err)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sum := 0.0
+	for _, r := range results {
+		price, _ := farm.ResultField(r, "price")
+		sum += price
+	}
+	fmt.Printf("portfolio %s: priced %d claims in %v with %d workers (%s strategy, batch %d)\n",
+		pf.Name, len(results), elapsed.Round(time.Millisecond), workers, strat, batch)
+	fmt.Printf("aggregate portfolio value: %.4f\n", sum)
+}

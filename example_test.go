@@ -1,0 +1,75 @@
+package riskbench_test
+
+// Godoc examples for the public façade: runnable documentation that the
+// test runner also verifies.
+
+import (
+	"fmt"
+
+	"riskbench"
+)
+
+// ExampleProblem_Compute prices the textbook at-the-money call.
+func ExampleProblem_Compute() {
+	p := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).
+		SetOption(riskbench.OptCallEuro).
+		SetMethod(riskbench.MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1)
+	res, err := p.Compute()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("price %.4f delta %.4f\n", res.Price, res.Delta)
+	// Output: price 10.4506 delta 0.6368
+}
+
+// ExampleComputeGreeks reports the full sensitivity set.
+func ExampleComputeGreeks() {
+	p := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).
+		SetOption(riskbench.OptCallEuro).
+		SetMethod(riskbench.MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1)
+	g, err := riskbench.ComputeGreeks(p)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("gamma %.4f vega %.2f\n", g.Gamma, g.Vega)
+	// Output: gamma 0.0188 vega 37.52
+}
+
+// ExampleImpliedVol inverts a market quote back to its volatility.
+func ExampleImpliedVol() {
+	p := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).
+		SetOption(riskbench.OptCallEuro).
+		SetMethod(riskbench.MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1)
+	iv, err := riskbench.ImpliedVol(p, 10.450583572185565)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("implied vol %.4f\n", iv)
+	// Output: implied vol 0.2000
+}
+
+// ExampleVaR computes the empirical value-at-risk of a P&L sample.
+func ExampleVaR() {
+	pnl := []float64{-9, -4, -1, 0, 2, 3, 5, 6, 8, 12}
+	fmt.Printf("VaR(90%%) = %.1f\n", riskbench.VaR(pnl, 0.9))
+	// Output: VaR(90%) = 9.0
+}
+
+// ExampleToyPortfolio shows the §4.2 workload's aggregate size.
+func ExampleToyPortfolio() {
+	pf := riskbench.ToyPortfolio(10000)
+	fmt.Printf("%d claims, ~%.0f s of virtual work\n", pf.Size(), pf.TotalCost())
+	// Output: 10000 claims, ~2 s of virtual work
+}

@@ -1,0 +1,55 @@
+// Cluster simulation: reproduce selected rows of the paper's Table III —
+// the 7931-claim realistic portfolio on a simulated 2–512-CPU cluster —
+// in a few seconds of wall time, plus the hierarchical sub-master variant
+// the paper's conclusion proposes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riskbench/internal/bench"
+	"riskbench/internal/farm"
+	"riskbench/internal/portfolio"
+)
+
+func main() {
+	pf := portfolio.Realistic()
+	tasks, err := pf.Tasks()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("realistic portfolio: %d claims, %.0f s total work, %.1f s max claim\n\n",
+		pf.Size(), pf.TotalCost(), pf.MaxCost())
+
+	fmt.Println("Table III rows (serialized load):")
+	fmt.Printf("%8s %12s %10s\n", "CPUs", "Time (s)", "Speedup")
+	var t2 float64
+	for _, cpus := range []int{2, 16, 64, 256, 512} {
+		t, err := bench.Run(bench.RunConfig{Tasks: tasks, CPUs: cpus, Strategy: farm.SerializedLoad})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cpus == 2 {
+			t2 = t
+		}
+		fmt.Printf("%8d %12.2f %10.4f\n", cpus, t, t2/(float64(cpus-1)*t))
+	}
+
+	fmt.Println("\nFlat vs hierarchical master at 512 CPUs (8 sub-masters):")
+	flat, err := bench.Run(bench.RunConfig{Tasks: tasks, CPUs: 512, Strategy: farm.SerializedLoad})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each sub-master owns ~62 workers and works one chunk at a time, so
+	// the chunk must exceed the group size to keep everyone busy.
+	hier, err := bench.Run(bench.RunConfig{
+		Tasks: tasks, CPUs: 512, Strategy: farm.SerializedLoad,
+		Scheduler: bench.Hierarchical, Groups: 8, Chunk: 192,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  flat:         %8.2f s\n", flat)
+	fmt.Printf("  hierarchical: %8.2f s\n", hier)
+}

@@ -1,0 +1,160 @@
+// MPI-layer demo mirroring the paper's Figs. 1–2 and §3.2: spawn slaves,
+// send heterogeneous objects with transparent serialization, use the
+// probe/buffer/pack path, unseal serials, compress, and sload a saved
+// problem straight into a transmissible buffer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
+	"riskbench/internal/premia"
+)
+
+func main() {
+	const tag = 7
+
+	// NSP_spawn(n): start 2 slaves that echo one object back (Fig. 1).
+	master, wait := mpi.Spawn(2, func(c mpi.Comm) {
+		obj, st, err := mpi.RecvObj(c, 0, mpi.AnyTag)
+		if err != nil {
+			log.Printf("slave %d: %v", c.Rank(), err)
+			return
+		}
+		if err := mpi.SendObj(c, obj, 0, st.Tag); err != nil {
+			log.Printf("slave %d: %v", c.Rank(), err)
+		}
+	})
+
+	// A=list('string',%t,rand(4,4)); MPI_Send_Obj(A,...).
+	mat := nsp.NewMat(4, 4)
+	for i := range mat.Data {
+		mat.Data[i] = float64(i) / 16
+	}
+	a := nsp.NewList(nsp.Str("string"), nsp.Bool(true), mat)
+	for slave := 1; slave <= 2; slave++ {
+		if err := mpi.SendObj(master, a, slave, tag); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		b, st, err := mpi.RecvObj(master, mpi.AnySource, tag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("echo from slave %d: B.equal[A] = %v\n", st.Source, b.Equal(a))
+		if i == 0 {
+			// Show the object the way an Nsp session would print it.
+			fmt.Print(nsp.Display("B", b))
+		}
+	}
+	wait()
+
+	// MPI_Pack / probe / mpibuf / MPI_Unpack (§3.2's second listing).
+	h := nsp.NewHash()
+	h.Set("A", nsp.RowVec(1, 0))
+	h.Set("B", nsp.NewList(nsp.Str("foo"), nsp.RowVec(1, 2, 3, 4), nsp.Str("bar")))
+	world := mpi.NewLocalWorld(2)
+	defer world.Close()
+	packed, err := mpi.Pack(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := world.Comm(0).Send(packed.Data, 1, tag); err != nil {
+			log.Print(err)
+		}
+	}()
+	st, err := world.Comm(1).Probe(mpi.AnySource, mpi.AnyTag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := mpi.NewBuf(st.Bytes) // mpibuf_create(elems)
+	data, _, err := world.Comm(1).Recv(st.Source, st.Tag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copy(buf.Data, data)
+	h1, err := buf.Unpack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pack/probe/unpack round trip: H1.equal[H] = %v\n", h1.Equal(h))
+
+	// The paper's sparse example: A=sparse(rand(2,2)); S=serialize(A);
+	// MPI_Send_Obj(S,...); B=MPI_Recv_Obj → B.equal[A].
+	spDense := nsp.NewMat(2, 2)
+	for i := range spDense.Data {
+		spDense.Data[i] = float64(i+1) / 4
+	}
+	sp := nsp.SparseFromDense(spDense)
+	spSer, err := nsp.Serialize(sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := mpi.SendObj(world.Comm(0), spSer, 1, tag); err != nil {
+			log.Print(err)
+		}
+	}()
+	spBack, _, err := mpi.RecvObj(world.Comm(1), 0, tag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparse round trip: B.equal[A] = %v\n", spBack.Equal(sp))
+
+	// serialize / compress (the paper's 842-byte → 248-byte example).
+	seq := nsp.NewMat(1, 100)
+	for i := range seq.Data {
+		seq.Data[i] = float64(i + 1)
+	}
+	s, err := nsp.Serialize(seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, err := s.Compress()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialize(1:100): %s, compressed: %s\n", s, cs)
+
+	// save + sload a Premia problem (Fig. 2): the file becomes a Serial
+	// without object construction, and unserializes to an equal problem.
+	dir, err := os.MkdirTemp("", "mpidemo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fic := filepath.Join(dir, "fic")
+	p := premia.New().
+		SetModel(premia.ModelHeston).SetOption(premia.OptPutAmer).
+		SetMethod(premia.MethodMCAmerAlfonsi).
+		Set("S0", 100).Set("r", 0.03).Set("V0", 0.04).Set("kappa", 2).
+		Set("theta", 0.04).Set("sigmaV", 0.3).Set("rhoSV", -0.7).
+		Set("K", 100).Set("T", 1).Set("paths", 5000).Set("exdates", 20)
+	if err := p.Save(fic); err != nil {
+		log.Fatal(err)
+	}
+	serial, err := nsp.SLoad(fic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sload(fic) = %s\n", serial)
+	obj, err := serial.Unserialize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := premia.FromNsp(obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := back.Compute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("American Heston put via sloaded problem: %.4f ± %.4f\n", res.Price, res.PriceCI)
+}

@@ -1,0 +1,66 @@
+// Quickstart: price one option several independent ways and check that
+// they agree — the smallest useful tour of the pricing library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riskbench"
+)
+
+func main() {
+	// An at-the-money European call under Black–Scholes.
+	base := func() *riskbench.Problem {
+		return riskbench.NewProblem().
+			SetModel(riskbench.ModelBS1D).
+			SetOption(riskbench.OptCallEuro).
+			Set("S0", 100).Set("r", 0.05).Set("divid", 0.02).Set("sigma", 0.25).
+			Set("K", 100).Set("T", 1)
+	}
+
+	fmt.Println("European call S0=100 K=100 T=1 r=5% q=2% σ=25%")
+	fmt.Println()
+	for _, m := range []struct {
+		method string
+		extra  map[string]float64
+	}{
+		{riskbench.MethodCFCall, nil},
+		{riskbench.MethodTreeCRR, map[string]float64{"steps": 2000}},
+		{riskbench.MethodFDCrank, map[string]float64{"nodes": 600, "steps": 300}},
+		{riskbench.MethodMCEuro, map[string]float64{"paths": 200000}},
+	} {
+		p := base().SetMethod(m.method)
+		for k, v := range m.extra {
+			p.Set(k, v)
+		}
+		res, err := p.Compute()
+		if err != nil {
+			log.Fatalf("%s: %v", m.method, err)
+		}
+		ci := ""
+		if res.PriceCI > 0 {
+			ci = fmt.Sprintf(" ± %.4f", res.PriceCI)
+		}
+		fmt.Printf("  %-22s price %.4f%s   delta %.4f\n", m.method, res.Price, ci, res.Delta)
+	}
+
+	// An American put: the early-exercise premium must be positive.
+	amer := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).SetOption(riskbench.OptPutAmer).SetMethod(riskbench.MethodFDBS).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.25).Set("K", 110).Set("T", 1)
+	euro := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).SetOption(riskbench.OptPutEuro).SetMethod(riskbench.MethodCFPut).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.25).Set("K", 110).Set("T", 1)
+	ra, err := amer.Compute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	re, err := euro.Compute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("American put %.4f vs European put %.4f (early-exercise premium %.4f)\n",
+		ra.Price, re.Price, ra.Price-re.Price)
+}

@@ -1,0 +1,131 @@
+package riskbench_test
+
+// End-to-end tests through the public façade only: what a downstream user
+// of the module sees.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"riskbench"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	p := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).
+		SetOption(riskbench.OptCallEuro).
+		SetMethod(riskbench.MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1)
+	res, err := p.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical textbook value for these parameters.
+	if math.Abs(res.Price-10.450583572185565) > 1e-9 {
+		t.Errorf("price %v, want 10.4505836", res.Price)
+	}
+	g, err := riskbench.ComputeGreeks(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Delta-res.Delta) > 1e-12 || g.Vega <= 0 {
+		t.Errorf("greeks %+v inconsistent with result %+v", g, res)
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	p := riskbench.NewProblem().
+		SetModel(riskbench.ModelHeston).
+		SetOption(riskbench.OptPutAmer).
+		SetMethod(riskbench.MethodMCAmerAlfonsi).
+		Set("S0", 100).Set("r", 0.03).Set("V0", 0.04).Set("kappa", 2).
+		Set("theta", 0.04).Set("sigmaV", 0.3).Set("rhoSV", -0.7).
+		Set("K", 100).Set("T", 1).Set("paths", 1000).Set("exdates", 10)
+	path := dir + "/fic"
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := riskbench.LoadProblem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Price != b.Price {
+		t.Fatal("reloaded problem prices differently")
+	}
+}
+
+func TestFacadeMethodsListed(t *testing.T) {
+	ms := riskbench.Methods()
+	if len(ms) < 15 {
+		t.Fatalf("only %d methods exposed", len(ms))
+	}
+	found := false
+	for _, m := range ms {
+		if m == riskbench.MethodMCAmerAlfonsi {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the paper's example method missing from Methods()")
+	}
+}
+
+func TestFacadePortfolios(t *testing.T) {
+	if n := riskbench.RealisticPortfolio().Size(); n != 7931 {
+		t.Errorf("realistic size %d, want 7931", n)
+	}
+	if n := riskbench.ToyPortfolio(123).Size(); n != 123 {
+		t.Errorf("toy size %d", n)
+	}
+	if n := riskbench.RegressionPortfolio().Size(); n < 150 {
+		t.Errorf("regression size %d too small", n)
+	}
+}
+
+func TestFacadeTableSweep(t *testing.T) {
+	spec := riskbench.TableII()
+	spec.Portfolio = riskbench.ToyPortfolio(300)
+	spec.MaxCPUs = 4
+	tbl, err := riskbench.RunTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, "serialized load") {
+		t.Errorf("format missing strategy label:\n%s", out)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("%d rows, want 2 (CPUs 2 and 4)", len(tbl.Rows))
+	}
+}
+
+func TestFacadeRiskRun(t *testing.T) {
+	book := riskbench.ToyPortfolio(20)
+	val, err := riskbench.RiskEngine{Workers: 2}.Revalue(book, riskbench.StressScenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.TotalBase() <= 0 {
+		t.Error("base value not positive")
+	}
+	pnls := val.PnLs()
+	if len(pnls) != 4 {
+		t.Fatalf("%d P&L entries", len(pnls))
+	}
+	// A long-call book loses in crashes even with the vol spike at these
+	// maturities? Not necessarily — just check VaR is finite and ≥ 0.
+	if v := riskbench.VaR(pnls, 0.9); v < 0 || math.IsNaN(v) {
+		t.Errorf("VaR = %v", v)
+	}
+}

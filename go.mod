@@ -1,0 +1,3 @@
+module riskbench
+
+go 1.22

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"riskbench/internal/farm"
+	"riskbench/internal/nsp"
+)
+
+// CompressTasks returns a copy of the tasks with flate-compressed payload
+// bytes, modelling the paper's proposed future development: problem files
+// compressed offline "when preparing a set of problems", so the master
+// pays no compression cost at run time while every wire transfer and NFS
+// read shrinks. Costs and names are preserved.
+func CompressTasks(tasks []farm.Task) ([]farm.Task, error) {
+	out := make([]farm.Task, len(tasks))
+	for i, t := range tasks {
+		s := &nsp.Serial{Data: t.Data}
+		c, err := s.Compress()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = farm.Task{Name: t.Name, Data: c.Data, Cost: t.Cost}
+	}
+	return out, nil
+}
+
+// CompressionSavings reports the aggregate payload bytes before and after
+// CompressTasks, for the ablation report.
+func CompressionSavings(raw, compressed []farm.Task) (rawBytes, compressedBytes int) {
+	for _, t := range raw {
+		rawBytes += len(t.Data)
+	}
+	for _, t := range compressed {
+		compressedBytes += len(t.Data)
+	}
+	return rawBytes, compressedBytes
+}

@@ -1,0 +1,17 @@
+// Package bench reproduces the paper's evaluation: it sweeps a portfolio
+// over CPU counts and communication strategies on the simulated cluster
+// and prints tables in the paper's format (computation time and speedup
+// ratio per CPU count).
+//
+// The speedup ratio follows the paper's convention, with the 2-CPU run
+// (one master + one worker) as the baseline:
+//
+//	ratio(n) = T(2) / ((n−1) · T(n))
+//
+// which is 1 for perfect scaling of the n−1 workers (verified against the
+// published tables: e.g. Table I, 4 CPUs: 838.004/(3·285.356) = 0.9789).
+//
+// Three predefined specs regenerate Tables I, II and III; further specs
+// cover the ablations called out in DESIGN.md (static vs Robin-Hood
+// scheduling, batching, hierarchy, compressed serials).
+package bench

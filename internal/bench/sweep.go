@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+
+	"riskbench/internal/farm"
+	"riskbench/internal/simnet"
+)
+
+// Scheduler selects the master's task-distribution policy.
+type Scheduler int
+
+// Available schedulers.
+const (
+	// RobinHood is the paper's dynamic first-come-first-served policy.
+	RobinHood Scheduler = iota
+	// StaticBlock pre-assigns tasks round-robin (ablation baseline).
+	StaticBlock
+	// Hierarchical uses sub-masters (the paper's proposed improvement).
+	Hierarchical
+)
+
+// String returns a printable name.
+func (s Scheduler) String() string {
+	switch s {
+	case RobinHood:
+		return "robin-hood"
+	case StaticBlock:
+		return "static"
+	case Hierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// RunConfig describes one simulated farm execution.
+type RunConfig struct {
+	// Tasks is the workload.
+	Tasks []farm.Task
+	// CPUs is the paper's CPU count: 1 master + (CPUs-1) workers.
+	CPUs int
+	// Strategy is the communication strategy.
+	Strategy farm.Strategy
+	// BatchSize groups tasks per message (default 1).
+	BatchSize int
+	// Scheduler selects the distribution policy (default RobinHood).
+	Scheduler Scheduler
+	// Groups is the number of sub-masters when Scheduler is Hierarchical.
+	Groups int
+	// Chunk is the root→sub-master hand-off size when hierarchical.
+	Chunk int
+	// Link models the interconnect (DefaultGigE if zero).
+	Link simnet.LinkConfig
+	// Costs models the strategy CPU costs (DefaultSimCosts if zero).
+	Costs farm.SimCosts
+	// FS is the shared NFS model; required for the NFS strategy. Reusing
+	// one FS across runs keeps its cache warm, reproducing the paper's
+	// biased repeat-run numbers.
+	FS *simnet.NFS
+	// SlowFraction marks that fraction of the workers (the highest ranks)
+	// as slow nodes running at SlowFactor speed, modelling cluster
+	// heterogeneity/background load.
+	SlowFraction float64
+	// SlowFactor is the slow nodes' relative speed (default 0.5 when
+	// SlowFraction > 0).
+	SlowFactor float64
+}
+
+func (rc RunConfig) withDefaults() RunConfig {
+	if rc.Link == (simnet.LinkConfig{}) {
+		rc.Link = simnet.DefaultGigE
+	}
+	if rc.Costs == (farm.SimCosts{}) {
+		rc.Costs = farm.DefaultSimCosts
+	}
+	if rc.BatchSize < 1 {
+		rc.BatchSize = 1
+	}
+	return rc
+}
+
+// Run executes one simulated farm run and returns the virtual makespan in
+// seconds.
+func Run(rc RunConfig) (float64, error) {
+	rc = rc.withDefaults()
+	if rc.CPUs < 2 {
+		return 0, fmt.Errorf("bench: need at least 2 CPUs, got %d", rc.CPUs)
+	}
+	if rc.Strategy == farm.NFSLoad && rc.FS == nil {
+		return 0, fmt.Errorf("bench: NFS strategy needs an FS model")
+	}
+	if rc.FS != nil {
+		// A reused FS keeps its client caches warm across runs, but its
+		// server queue must restart on this run's fresh virtual clock.
+		rc.FS.ResetClock()
+	}
+	switch rc.Scheduler {
+	case Hierarchical:
+		return runHierarchical(rc)
+	default:
+		t, _, err := runFlat(rc)
+		return t, err
+	}
+}
+
+// RunStats augments a flat run's makespan with occupancy figures, the
+// measurements behind the "many nodes are waiting for some more work to
+// do" diagnosis in the paper's §4.3.
+type RunStats struct {
+	// Makespan is the virtual completion time in seconds.
+	Makespan float64
+	// MasterBusy is the master's compute-occupied time (payload
+	// preparation), the serial bottleneck of Table II.
+	MasterBusy float64
+	// WorkerUtilization is each worker's busy fraction of the makespan.
+	WorkerUtilization []float64
+	// MeanUtilization averages WorkerUtilization.
+	MeanUtilization float64
+}
+
+// RunWithStats is Run for flat schedulers, additionally reporting
+// occupancy statistics.
+func RunWithStats(rc RunConfig) (RunStats, error) {
+	rc = rc.withDefaults()
+	if rc.CPUs < 2 {
+		return RunStats{}, fmt.Errorf("bench: need at least 2 CPUs, got %d", rc.CPUs)
+	}
+	if rc.Scheduler == Hierarchical {
+		return RunStats{}, fmt.Errorf("bench: RunWithStats supports flat schedulers only")
+	}
+	if rc.Strategy == farm.NFSLoad && rc.FS == nil {
+		return RunStats{}, fmt.Errorf("bench: NFS strategy needs an FS model")
+	}
+	if rc.FS != nil {
+		rc.FS.ResetClock()
+	}
+	t, world, err := runFlat(rc)
+	if err != nil {
+		return RunStats{}, err
+	}
+	stats := RunStats{Makespan: t, MasterBusy: world.BusyTime(0)}
+	sum := 0.0
+	for r := 1; r < rc.CPUs; r++ {
+		u := world.Utilization(r)
+		stats.WorkerUtilization = append(stats.WorkerUtilization, u)
+		sum += u
+	}
+	if n := len(stats.WorkerUtilization); n > 0 {
+		stats.MeanUtilization = sum / float64(n)
+	}
+	return stats, nil
+}
+
+// applySlowNodes marks the top-ranked workers slow per the config.
+func applySlowNodes(world *simnet.World, rc RunConfig) {
+	if rc.SlowFraction <= 0 {
+		return
+	}
+	factor := rc.SlowFactor
+	if factor <= 0 {
+		factor = 0.5
+	}
+	workers := rc.CPUs - 1
+	slow := int(rc.SlowFraction * float64(workers))
+	for i := 0; i < slow; i++ {
+		world.SetSpeed(rc.CPUs-1-i, factor)
+	}
+}
+
+func runFlat(rc RunConfig) (float64, *simnet.World, error) {
+	eng := simnet.NewEngine()
+	workers := rc.CPUs - 1
+	world := simnet.NewWorld(eng, rc.CPUs, rc.Link)
+	applySlowNodes(world, rc)
+	opts := farm.Options{Strategy: rc.Strategy, BatchSize: rc.BatchSize}
+	errs := make([]error, workers+1)
+	for r := 1; r <= workers; r++ {
+		rank := r
+		eng.Go(fmt.Sprintf("worker-%d", rank), func(p *simnet.Proc) {
+			c := world.Comm(rank)
+			c.Bind(p)
+			var store farm.Store
+			if rc.FS != nil {
+				store = farm.SimStore{FS: rc.FS, Comm: c}
+			}
+			errs[rank] = farm.RunWorker(c, farm.SimExecutor{Comm: c, Costs: rc.Costs}, store, opts)
+		})
+	}
+	eng.Go("master", func(p *simnet.Proc) {
+		c := world.Comm(0)
+		c.Bind(p)
+		loader := farm.SimLoader{Comm: c, Costs: rc.Costs}
+		var err error
+		if rc.Scheduler == StaticBlock {
+			_, err = farm.RunStaticMaster(c, rc.Tasks, loader, opts)
+		} else {
+			_, err = farm.RunMaster(c, rc.Tasks, loader, opts)
+		}
+		errs[0] = err
+	})
+	if err := eng.Run(); err != nil {
+		return 0, nil, err
+	}
+	for rank, err := range errs {
+		if err != nil {
+			return 0, nil, fmt.Errorf("bench: rank %d: %w", rank, err)
+		}
+	}
+	return eng.Now(), world, nil
+}
+
+func runHierarchical(rc RunConfig) (float64, error) {
+	groups := rc.Groups
+	if groups < 1 {
+		groups = 4
+	}
+	chunk := rc.Chunk
+	if chunk < 1 {
+		chunk = 8
+	}
+	size := rc.CPUs
+	if size < 1+2*groups {
+		return 0, fmt.Errorf("bench: %d CPUs too few for %d groups", size, groups)
+	}
+	eng := simnet.NewEngine()
+	world := simnet.NewWorld(eng, size, rc.Link)
+	applySlowNodes(world, rc)
+	opts := farm.Options{Strategy: rc.Strategy, BatchSize: rc.BatchSize}
+	errs := make([]error, size)
+	for g := 0; g < groups; g++ {
+		sub := g + 1
+		ws := farm.HierarchyWorkers(size, groups, g)
+		eng.Go(fmt.Sprintf("sub-%d", sub), func(p *simnet.Proc) {
+			c := world.Comm(sub)
+			c.Bind(p)
+			errs[sub] = farm.RunSubMaster(c, ws, opts)
+		})
+		for _, wr := range ws {
+			rank := wr
+			master := sub
+			eng.Go(fmt.Sprintf("worker-%d", rank), func(p *simnet.Proc) {
+				c := world.Comm(rank)
+				c.Bind(p)
+				wopts := opts
+				wopts.MasterRank = master
+				var store farm.Store
+				if rc.FS != nil {
+					store = farm.SimStore{FS: rc.FS, Comm: c}
+				}
+				errs[rank] = farm.RunWorker(c, farm.SimExecutor{Comm: c, Costs: rc.Costs}, store, wopts)
+			})
+		}
+	}
+	eng.Go("root", func(p *simnet.Proc) {
+		c := world.Comm(0)
+		c.Bind(p)
+		loader := farm.SimLoader{Comm: c, Costs: rc.Costs}
+		_, errs[0] = farm.RunRootMaster(c, rc.Tasks, loader, opts, groups, chunk)
+	})
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	for rank, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("bench: rank %d: %w", rank, err)
+		}
+	}
+	return eng.Now(), nil
+}

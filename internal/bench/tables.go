@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"riskbench/internal/farm"
+	"riskbench/internal/portfolio"
+	"riskbench/internal/simnet"
+)
+
+// TableSpec describes one of the paper's tables: a workload swept over
+// CPU counts for one or more communication strategies.
+type TableSpec struct {
+	// Name labels the table ("Table I", …).
+	Name string
+	// Caption reproduces the paper's caption.
+	Caption string
+	// Portfolio generates the workload.
+	Portfolio *portfolio.Portfolio
+	// CPUCounts are the paper's row values.
+	CPUCounts []int
+	// Strategies are the compared communication strategies (columns).
+	Strategies []farm.Strategy
+	// SharedNFS keeps one NFS cache across all rows of the sweep,
+	// reproducing the paper's warm-cache bias in repeat runs; when false a
+	// cold cache is used per row.
+	SharedNFS bool
+	// MaxCPUs optionally truncates CPUCounts (0 = keep all), so quick
+	// benchmarks can run a prefix of the table.
+	MaxCPUs int
+}
+
+// Cell is one (time, ratio) measurement.
+type Cell struct {
+	// Time is the simulated makespan in seconds.
+	Time float64
+	// Ratio is the paper's speedup ratio T(2)/((n−1)·T(n)).
+	Ratio float64
+}
+
+// Row is one CPU count's measurements across strategies.
+type Row struct {
+	// CPUs is the row's CPU count.
+	CPUs int
+	// Cells maps strategy → measurement.
+	Cells map[farm.Strategy]Cell
+}
+
+// Table is a completed sweep.
+type Table struct {
+	// Spec echoes the input.
+	Spec TableSpec
+	// Rows are in CPU-count order.
+	Rows []Row
+}
+
+// TableI reproduces the paper's Table I: speedups of the Premia
+// non-regression tests, serialized-load strategy, 2–256 CPUs.
+func TableI() TableSpec {
+	return TableSpec{
+		Name:       "Table I",
+		Caption:    "Speedup table for the non-regression tests of Premia.",
+		Portfolio:  portfolio.Regression(),
+		CPUCounts:  []int{2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256},
+		Strategies: []farm.Strategy{farm.SerializedLoad},
+	}
+}
+
+// TableII reproduces Table II: the 10,000-vanilla toy portfolio compared
+// across the three communication strategies, 2–50 CPUs, with the NFS
+// cache shared across rows as in the paper's biased repeat runs.
+func TableII() TableSpec {
+	return TableSpec{
+		Name:       "Table II",
+		Caption:    "Comparison of the different ways of carrying out the communications (toy portfolio).",
+		Portfolio:  portfolio.Toy(10000),
+		CPUCounts:  []int{2, 4, 8, 10, 12, 14, 16, 18, 20, 24, 28, 32, 36, 40, 45, 50},
+		Strategies: []farm.Strategy{farm.FullLoad, farm.NFSLoad, farm.SerializedLoad},
+		SharedNFS:  true,
+	}
+}
+
+// TableIII reproduces Table III: the realistic 7931-claim portfolio
+// across the three strategies, 2–512 CPUs.
+func TableIII() TableSpec {
+	return TableSpec{
+		Name:       "Table III",
+		Caption:    "Comparison of the different ways of carrying out the communications (realistic portfolio).",
+		Portfolio:  portfolio.Realistic(),
+		CPUCounts:  []int{2, 4, 6, 8, 10, 16, 32, 64, 96, 128, 160, 192, 224, 256, 320, 384, 512},
+		Strategies: []farm.Strategy{farm.FullLoad, farm.NFSLoad, farm.SerializedLoad},
+		SharedNFS:  true,
+	}
+}
+
+// RunTable executes the sweep.
+func RunTable(spec TableSpec) (*Table, error) {
+	tasks, err := spec.Portfolio.Tasks()
+	if err != nil {
+		return nil, err
+	}
+	counts := spec.CPUCounts
+	if spec.MaxCPUs > 0 {
+		var trimmed []int
+		for _, n := range counts {
+			if n <= spec.MaxCPUs {
+				trimmed = append(trimmed, n)
+			}
+		}
+		counts = trimmed
+	}
+	names := make([]string, len(tasks))
+	for i, t := range tasks {
+		names[i] = t.Name
+	}
+	table := &Table{Spec: spec}
+	baseline := map[farm.Strategy]float64{}
+	// Per-strategy persistent NFS when SharedNFS (warm across rows).
+	shared := map[farm.Strategy]*simnet.NFS{}
+	for _, n := range counts {
+		row := Row{CPUs: n, Cells: map[farm.Strategy]Cell{}}
+		for _, strat := range spec.Strategies {
+			var fs *simnet.NFS
+			if strat == farm.NFSLoad {
+				if spec.SharedNFS {
+					if shared[strat] == nil {
+						shared[strat] = simnet.NewNFS(simnet.DefaultNFS)
+					}
+					fs = shared[strat]
+				} else {
+					fs = simnet.NewNFS(simnet.DefaultNFS)
+				}
+			}
+			t, err := Run(RunConfig{Tasks: tasks, CPUs: n, Strategy: strat, FS: fs})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s, %d CPUs, %v: %w", spec.Name, n, strat, err)
+			}
+			cell := Cell{Time: t}
+			if b, ok := baseline[strat]; ok {
+				cell.Ratio = b / (float64(n-1) * t)
+			} else {
+				baseline[strat] = t
+				cell.Ratio = 1
+			}
+			row.Cells[strat] = cell
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+// Format renders the table in the paper's layout: one row per CPU count
+// with Time and Speedup-ratio columns per strategy.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s. %s\n", t.Spec.Name, t.Spec.Caption)
+	fmt.Fprintf(&b, "%-8s", "CPUs")
+	for range t.Spec.Strategies {
+		fmt.Fprintf(&b, "%14s%14s", "Time", "Speedup")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, s := range t.Spec.Strategies {
+		label := s.String()
+		fmt.Fprintf(&b, "%14s%14s", label, label)
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-8d", row.CPUs)
+		for _, s := range t.Spec.Strategies {
+			c := row.Cells[s]
+			fmt.Fprintf(&b, "%14.4f%14.6f", c.Time, c.Ratio)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

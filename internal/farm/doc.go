@@ -1,0 +1,28 @@
+// Package farm implements the paper's parallel portfolio pricer: a
+// "Robbin Hood" master/worker task farm (Figs. 4–5) over any mpi.Comm.
+// The master seeds every worker with one job, then hands a new job to
+// whichever worker returns a result first, until the portfolio is done; a
+// final empty message tells each worker to stop.
+//
+// Three communication strategies, matching the labels of the paper's
+// tables, decide how a pricing problem travels from master to worker:
+//
+//   - FullLoad: the master decodes the problem file into an object, then
+//     re-serialises and packs it for transmission (paying the full object
+//     construction round on the master).
+//   - NFSLoad: the master sends only the file name; the worker reads the
+//     file from the shared file system.
+//   - SerializedLoad: the master turns the file straight into a Serial
+//     buffer (nsp.SLoad) and ships the bytes untouched.
+//
+// The package is transport- and execution-agnostic: Loader abstracts the
+// master-side payload preparation, Executor the worker-side pricing, and
+// Store the shared file system, with live implementations (really pricing
+// with package premia, really reading files) and simulated ones (charging
+// modelled virtual time, reading from the simnet NFS model).
+//
+// Extensions beyond the paper's experiments, both proposed in its
+// conclusion, are included: task batching (send bunches of problems in one
+// message to amortise latency) via Options.BatchSize, and a two-level
+// hierarchy of sub-masters via RunRootMaster/RunSubMaster.
+package farm

@@ -1,0 +1,482 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
+	"riskbench/internal/premia"
+)
+
+// serializeHash returns the nsp stream bytes of a hash, i.e. the content
+// a problem save-file would hold.
+func serializeHash(h *nsp.Hash) ([]byte, error) {
+	s, err := nsp.Serialize(h)
+	if err != nil {
+		return nil, err
+	}
+	return s.Data, nil
+}
+
+// makePortfolio builds n distinct vanilla call problems and returns the
+// tasks plus the closed-form price of each, keyed by name.
+func makePortfolio(t *testing.T, n int) ([]Task, map[string]float64) {
+	t.Helper()
+	tasks := make([]Task, n)
+	want := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		k := 80 + float64(i%40)
+		p := premia.New().
+			SetModel(premia.ModelBS1D).SetOption(premia.OptCallEuro).SetMethod(premia.MethodCFCall).
+			Set("S0", 100).Set("r", 0.04).Set("sigma", 0.2).Set("K", k).Set("T", 1+float64(i%8)/4)
+		h, err := p.ToNsp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serializeHash(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("pb-%04d", i)
+		tasks[i] = Task{Name: name, Data: s}
+		res, err := p.Compute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = res.Price
+	}
+	return tasks, want
+}
+
+// runLocalFarm executes the farm on an in-process world.
+func runLocalFarm(t *testing.T, tasks []Task, workers int, opts Options, store Store) []Result {
+	t.Helper()
+	w := mpi.NewLocalWorld(workers + 1)
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := RunWorker(w.Comm(rank), LiveExecutor{}, store, opts); err != nil {
+				t.Errorf("worker %d: %v", rank, err)
+			}
+		}(r)
+	}
+	results, err := RunMaster(w.Comm(0), tasks, LiveLoader{}, opts)
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	wg.Wait()
+	return results
+}
+
+func checkResults(t *testing.T, results []Result, want map[string]float64) {
+	t.Helper()
+	if len(results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(results), len(want))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.Name] {
+			t.Fatalf("task %s priced twice", r.Name)
+		}
+		seen[r.Name] = true
+		price, ok := ResultField(r, "price")
+		if !ok {
+			t.Fatalf("result %s has no price", r.Name)
+		}
+		if math.Abs(price-want[r.Name]) > 1e-12 {
+			t.Fatalf("task %s: price %v, want %v", r.Name, price, want[r.Name])
+		}
+	}
+}
+
+func TestFarmFullLoad(t *testing.T) {
+	tasks, want := makePortfolio(t, 60)
+	results := runLocalFarm(t, tasks, 4, Options{Strategy: FullLoad}, nil)
+	checkResults(t, results, want)
+}
+
+func TestFarmSerializedLoad(t *testing.T) {
+	tasks, want := makePortfolio(t, 60)
+	results := runLocalFarm(t, tasks, 4, Options{Strategy: SerializedLoad}, nil)
+	checkResults(t, results, want)
+}
+
+func TestFarmNFSLoad(t *testing.T) {
+	tasks, want := makePortfolio(t, 60)
+	store := MemStore{}
+	for _, task := range tasks {
+		store[task.Name] = task.Data
+	}
+	results := runLocalFarm(t, tasks, 4, Options{Strategy: NFSLoad}, store)
+	checkResults(t, results, want)
+}
+
+func TestFarmStrategiesAgree(t *testing.T) {
+	tasks, _ := makePortfolio(t, 30)
+	store := MemStore{}
+	for _, task := range tasks {
+		store[task.Name] = task.Data
+	}
+	byName := func(results []Result) map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range results {
+			p, _ := ResultField(r, "price")
+			m[r.Name] = p
+		}
+		return m
+	}
+	full := byName(runLocalFarm(t, tasks, 3, Options{Strategy: FullLoad}, nil))
+	ser := byName(runLocalFarm(t, tasks, 3, Options{Strategy: SerializedLoad}, nil))
+	nfs := byName(runLocalFarm(t, tasks, 3, Options{Strategy: NFSLoad}, store))
+	for name := range full {
+		if full[name] != ser[name] || full[name] != nfs[name] {
+			t.Fatalf("strategies disagree on %s: %v %v %v", name, full[name], ser[name], nfs[name])
+		}
+	}
+}
+
+func TestFarmSingleWorker(t *testing.T) {
+	tasks, want := makePortfolio(t, 10)
+	results := runLocalFarm(t, tasks, 1, Options{Strategy: SerializedLoad}, nil)
+	checkResults(t, results, want)
+}
+
+func TestFarmMoreWorkersThanTasks(t *testing.T) {
+	tasks, want := makePortfolio(t, 3)
+	results := runLocalFarm(t, tasks, 8, Options{Strategy: SerializedLoad}, nil)
+	checkResults(t, results, want)
+}
+
+func TestFarmEmptyPortfolio(t *testing.T) {
+	results := runLocalFarm(t, nil, 3, Options{Strategy: SerializedLoad}, nil)
+	if len(results) != 0 {
+		t.Fatalf("empty portfolio returned %d results", len(results))
+	}
+}
+
+func TestFarmBatching(t *testing.T) {
+	tasks, want := makePortfolio(t, 57) // not a multiple of the batch size
+	for _, bs := range []int{2, 5, 16, 100} {
+		results := runLocalFarm(t, tasks, 4, Options{Strategy: SerializedLoad, BatchSize: bs}, nil)
+		checkResults(t, results, want)
+	}
+}
+
+func TestFarmBatchingFullLoad(t *testing.T) {
+	tasks, want := makePortfolio(t, 23)
+	results := runLocalFarm(t, tasks, 3, Options{Strategy: FullLoad, BatchSize: 4}, nil)
+	checkResults(t, results, want)
+}
+
+func TestFarmUsesAllWorkers(t *testing.T) {
+	tasks, _ := makePortfolio(t, 80)
+	results := runLocalFarm(t, tasks, 4, Options{Strategy: SerializedLoad}, nil)
+	used := map[int]bool{}
+	for _, r := range results {
+		used[r.Worker] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("only %d of 4 workers used", len(used))
+	}
+}
+
+func TestFarmNoWorkersError(t *testing.T) {
+	w := mpi.NewLocalWorld(1)
+	defer w.Close()
+	if _, err := RunMaster(w.Comm(0), nil, LiveLoader{}, Options{}); err == nil {
+		t.Fatal("master accepted a world without workers")
+	}
+}
+
+func TestFarmNFSWithoutStoreFails(t *testing.T) {
+	w := mpi.NewLocalWorld(2)
+	tasks, _ := makePortfolio(t, 2)
+	masterErr := make(chan error, 1)
+	go func() {
+		_, err := RunMaster(w.Comm(0), tasks, LiveLoader{}, Options{Strategy: NFSLoad})
+		masterErr <- err
+	}()
+	if err := RunWorker(w.Comm(1), LiveExecutor{}, nil, Options{Strategy: NFSLoad}); err == nil {
+		t.Fatal("worker without a store did not fail")
+	}
+	// The worker died before answering; closing the world must unblock the
+	// master with an error rather than hang.
+	w.Close()
+	if err := <-masterErr; err == nil {
+		t.Fatal("master returned success despite a dead worker")
+	}
+}
+
+func TestHierarchyWorkersPartition(t *testing.T) {
+	size, groups := 20, 3 // 1 root + 3 sub-masters + 16 workers
+	var all []int
+	for g := 0; g < groups; g++ {
+		ws := HierarchyWorkers(size, groups, g)
+		if len(ws) < 5 || len(ws) > 6 {
+			t.Fatalf("group %d has %d workers", g, len(ws))
+		}
+		all = append(all, ws...)
+	}
+	sort.Ints(all)
+	if len(all) != 16 {
+		t.Fatalf("partition covers %d workers, want 16", len(all))
+	}
+	for i, r := range all {
+		if r != 4+i {
+			t.Fatalf("partition %v not contiguous from 4", all)
+		}
+	}
+}
+
+func TestHierarchyWorkersPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HierarchyWorkers(4, 2, 0)
+}
+
+func TestFarmHierarchical(t *testing.T) {
+	tasks, want := makePortfolio(t, 40)
+	const groups = 2
+	const size = 1 + groups + 6 // root + 2 sub-masters + 6 workers
+	w := mpi.NewLocalWorld(size)
+	defer w.Close()
+	opts := Options{Strategy: SerializedLoad}
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		sub := g + 1
+		workers := HierarchyWorkers(size, groups, g)
+		wg.Add(1)
+		go func(rank int, ws []int) {
+			defer wg.Done()
+			if err := RunSubMaster(w.Comm(rank), ws, opts); err != nil {
+				t.Errorf("sub-master %d: %v", rank, err)
+			}
+		}(sub, workers)
+		for _, wr := range workers {
+			wg.Add(1)
+			go func(rank, master int) {
+				defer wg.Done()
+				wopts := opts
+				wopts.MasterRank = master
+				if err := RunWorker(w.Comm(rank), LiveExecutor{}, nil, wopts); err != nil {
+					t.Errorf("worker %d: %v", rank, err)
+				}
+			}(wr, sub)
+		}
+	}
+	results, err := RunRootMaster(w.Comm(0), tasks, LiveLoader{}, opts, groups, 5)
+	if err != nil {
+		t.Fatalf("root: %v", err)
+	}
+	wg.Wait()
+	checkResults(t, results, want)
+}
+
+func TestFarmHierarchicalNFS(t *testing.T) {
+	tasks, want := makePortfolio(t, 24)
+	store := MemStore{}
+	for _, task := range tasks {
+		store[task.Name] = task.Data
+	}
+	const groups = 2
+	const size = 1 + groups + 4
+	w := mpi.NewLocalWorld(size)
+	defer w.Close()
+	opts := Options{Strategy: NFSLoad}
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		sub := g + 1
+		workers := HierarchyWorkers(size, groups, g)
+		wg.Add(1)
+		go func(rank int, ws []int) {
+			defer wg.Done()
+			if err := RunSubMaster(w.Comm(rank), ws, opts); err != nil {
+				t.Errorf("sub-master %d: %v", rank, err)
+			}
+		}(sub, workers)
+		for _, wr := range workers {
+			wg.Add(1)
+			go func(rank, master int) {
+				defer wg.Done()
+				wopts := opts
+				wopts.MasterRank = master
+				if err := RunWorker(w.Comm(rank), LiveExecutor{}, store, wopts); err != nil {
+					t.Errorf("worker %d: %v", rank, err)
+				}
+			}(wr, sub)
+		}
+	}
+	results, err := RunRootMaster(w.Comm(0), tasks, LiveLoader{}, opts, groups, 4)
+	if err != nil {
+		t.Fatalf("root: %v", err)
+	}
+	wg.Wait()
+	checkResults(t, results, want)
+}
+
+func TestFarmOverTCP(t *testing.T) {
+	tasks, want := makePortfolio(t, 20)
+	const size = 4
+	hub, err := mpi.ListenHub("127.0.0.1:0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	accepted := make(chan error, 1)
+	go func() { accepted <- hub.WaitWorkers() }()
+	opts := Options{Strategy: SerializedLoad}
+	var wg sync.WaitGroup
+	for i := 1; i < size; i++ {
+		wc, err := mpi.DialHub(hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			defer c.Close()
+			if err := RunWorker(c, LiveExecutor{}, nil, opts); err != nil {
+				t.Errorf("tcp worker: %v", err)
+			}
+		}(wc)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunMaster(hub, tasks, LiveLoader{}, opts)
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	checkResults(t, results, want)
+	wg.Wait()
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if FullLoad.String() != "full load" || NFSLoad.String() != "NFS" || SerializedLoad.String() != "serialized load" {
+		t.Fatal("strategy labels do not match the paper")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy has empty label")
+	}
+	if NFSLoad.NeedsPayload() || !FullLoad.NeedsPayload() || !SerializedLoad.NeedsPayload() {
+		t.Fatal("NeedsPayload wrong")
+	}
+}
+
+func TestDecodeBatchRejectsMalformed(t *testing.T) {
+	if _, _, _, err := decodeBatch(encodeBatch(nil)); err != nil {
+		t.Fatalf("empty batch should decode: %v", err)
+	}
+	if _, _, _, err := decodeBatch(nsp.Scalar(1)); err == nil {
+		t.Fatal("non-hash descriptor accepted")
+	}
+	missing := nsp.NewHash()
+	missing.Set(descNames, nsp.NewSMat(1, 1))
+	if _, _, _, err := decodeBatch(missing); err == nil {
+		t.Fatal("descriptor missing fields accepted")
+	}
+	// Wrong field type: replace costs with a hash.
+	bad := encodeBatch([]Task{{Name: "x"}})
+	bad.Set(descCosts, encodeBatch(nil))
+	if _, _, _, err := decodeBatch(bad); err == nil {
+		t.Fatal("wrong field type accepted")
+	}
+	// Mismatched lengths.
+	short := encodeBatch([]Task{{Name: "x"}, {Name: "y"}})
+	short.Set(descCosts, nsp.NewMat(1, 1))
+	if _, _, _, err := decodeBatch(short); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestFarmNFSOverRealFiles(t *testing.T) {
+	// The genuine NFS-strategy deployment: problems saved as files in a
+	// shared directory, workers reading them back with FileStore, over the
+	// TCP transport — the closest this repo gets to the paper's cluster
+	// runs without a cluster.
+	dir := t.TempDir()
+	pf := make([]Task, 0, 12)
+	want := map[string]float64{}
+	for i := 0; i < 12; i++ {
+		k := 90 + float64(i)
+		p := premia.New().
+			SetModel(premia.ModelBS1D).SetOption(premia.OptCallEuro).SetMethod(premia.MethodCFCall).
+			Set("S0", 100).Set("r", 0.04).Set("sigma", 0.2).Set("K", k).Set("T", 1)
+		path := fmt.Sprintf("%s/pb-%02d.bin", dir, i)
+		if err := p.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Compute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[path] = res.Price
+		// Task names ARE the file paths under the NFS strategy; Data stays
+		// empty on the master (only sizes travel).
+		info, err := nsp.SLoad(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf = append(pf, Task{Name: path, Data: make([]byte, info.Len())})
+	}
+	const size = 3
+	hub, err := mpi.ListenHub("127.0.0.1:0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	accepted := make(chan error, 1)
+	go func() { accepted <- hub.WaitWorkers() }()
+	opts := Options{Strategy: NFSLoad}
+	var wg sync.WaitGroup
+	for i := 1; i < size; i++ {
+		wc, err := mpi.DialHub(hub.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			defer c.Close()
+			if err := RunWorker(c, LiveExecutor{}, FileStore{}, opts); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}(wc)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunMaster(hub, pf, LiveLoader{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(results) != 12 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		price, ok := ResultField(r, "price")
+		if !ok || price != want[r.Name] {
+			t.Fatalf("%s: price %v, want %v", r.Name, price, want[r.Name])
+		}
+	}
+}
+
+func TestFarmRejectsDuplicateNames(t *testing.T) {
+	w := mpi.NewLocalWorld(2)
+	defer w.Close()
+	tasks := []Task{{Name: "same", Data: []byte("a")}, {Name: "same", Data: []byte("b")}}
+	if _, err := RunMaster(w.Comm(0), tasks, LiveLoader{}, Options{Strategy: SerializedLoad}); err == nil {
+		t.Fatal("duplicate task names accepted")
+	}
+}

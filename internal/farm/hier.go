@@ -1,0 +1,128 @@
+package farm
+
+import (
+	"fmt"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
+)
+
+// The hierarchical farm implements the improvement sketched in the
+// paper's conclusion: "divide the nodes into sub-groups, each group having
+// its own master ... since it has fewer slave processes to monitor the
+// speedups would be better". Rank 0 is the root; ranks 1..groups are
+// sub-masters; the remaining ranks are workers, split contiguously among
+// the groups. The root Robin-Hoods chunks of tasks over the sub-masters,
+// and each sub-master Robin-Hoods single tasks over its own workers.
+
+// HierarchyWorkers returns the worker ranks belonging to group g
+// (0-based) in a world of the given size with the given number of groups.
+func HierarchyWorkers(size, groups, g int) []int {
+	if groups < 1 || size < 1+2*groups {
+		panic(fmt.Sprintf("farm: hierarchy needs size >= 1+2*groups, got size %d groups %d", size, groups))
+	}
+	nw := size - 1 - groups
+	base := nw / groups
+	rem := nw % groups
+	start := 1 + groups
+	for i := 0; i < g; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		start += n
+	}
+	n := base
+	if g < rem {
+		n++
+	}
+	ws := make([]int, n)
+	for i := range ws {
+		ws[i] = start + i
+	}
+	return ws
+}
+
+// RunRootMaster distributes the tasks chunk-wise over the sub-masters
+// (ranks 1..groups) and returns all results. chunk is the number of tasks
+// per sub-master hand-off.
+func RunRootMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options, groups, chunk int) ([]Result, error) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	subs := make([]int, groups)
+	for i := range subs {
+		subs[i] = i + 1
+	}
+	results, err := runBatches(c, subs, splitBatches(tasks, chunk), loader, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sendStop(c, subs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// passLoader forwards already-prepared payload bytes unchanged; the
+// sub-master never redoes the root's object construction.
+type passLoader struct{}
+
+func (passLoader) Load(t Task, s Strategy) ([]byte, error) { return t.Data, nil }
+
+// RunSubMaster receives chunks from the root, farms each chunk task-by-
+// task over its own workers, and ships the chunk's results back as one
+// message. On the root's stop message it stops its workers and returns.
+func RunSubMaster(c mpi.Comm, workers []int, opts Options) error {
+	for {
+		obj, _, err := mpi.RecvObj(c, 0, TagTask)
+		if err != nil {
+			return fmt.Errorf("farm: sub-master %d recv chunk: %w", c.Rank(), err)
+		}
+		names, costs, sizes, err := decodeBatch(obj)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return sendStop(c, workers)
+		}
+		tasks := make([]Task, len(names))
+		for i := range names {
+			tasks[i] = Task{Name: names[i], Cost: costs[i]}
+		}
+		if opts.Strategy.NeedsPayload() {
+			pobj, _, err := mpi.RecvObj(c, 0, TagPayload)
+			if err != nil {
+				return fmt.Errorf("farm: sub-master %d recv payloads: %w", c.Rank(), err)
+			}
+			list, ok := pobj.(*nsp.List)
+			if !ok || list.Len() != len(names) {
+				return fmt.Errorf("farm: sub-master %d: malformed chunk payload", c.Rank())
+			}
+			for i, item := range list.Items {
+				s, ok := item.(*nsp.Serial)
+				if !ok {
+					return fmt.Errorf("farm: sub-master %d: chunk payload %d not a serial", c.Rank(), i)
+				}
+				tasks[i].Data = s.Data
+			}
+		} else {
+			// NFS: workers read by name; preserve declared sizes through
+			// zero-filled placeholders so descriptors stay truthful.
+			for i := range tasks {
+				tasks[i].Data = make([]byte, int(sizes[i]))
+			}
+		}
+		res, err := runBatches(c, workers, splitBatches(tasks, 1), passLoader{}, opts)
+		if err != nil {
+			return err
+		}
+		out := nsp.NewList()
+		for _, r := range res {
+			out.Add(r.Value)
+		}
+		if err := mpi.SendObj(c, out, 0, TagResult); err != nil {
+			return fmt.Errorf("farm: sub-master %d send results: %w", c.Rank(), err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package farm
+
+import (
+	"fmt"
+	"os"
+
+	"riskbench/internal/nsp"
+	"riskbench/internal/premia"
+)
+
+// LiveLoader prepares payloads with real CPU work, matching the paper's
+// description of each strategy on the master.
+type LiveLoader struct{}
+
+// Load implements Loader. FullLoad performs the complete round — decode
+// the save-file stream into an object, then re-serialise it — whose cost
+// the serialized-load strategy exists to avoid; SerializedLoad is the
+// sload path that ships the file bytes untouched.
+func (LiveLoader) Load(t Task, s Strategy) ([]byte, error) {
+	switch s {
+	case FullLoad:
+		obj, err := nsp.SLoadBytes(t.Data).Unserialize()
+		if err != nil {
+			return nil, fmt.Errorf("farm: full load decode: %w", err)
+		}
+		ser, err := nsp.Serialize(obj)
+		if err != nil {
+			return nil, fmt.Errorf("farm: full load encode: %w", err)
+		}
+		return ser.Data, nil
+	case SerializedLoad:
+		return t.Data, nil
+	default:
+		return nil, fmt.Errorf("farm: loader asked for strategy %v", s)
+	}
+}
+
+// LiveExecutor prices tasks for real with the premia library.
+type LiveExecutor struct{}
+
+// Execute implements Executor: unserialize → rebuild the problem →
+// compute → result hash.
+func (LiveExecutor) Execute(name string, payload []byte, cost float64, size int) (nsp.Object, error) {
+	obj, err := nsp.SLoadBytes(payload).Unserialize()
+	if err != nil {
+		return nil, fmt.Errorf("farm: decode problem %q: %w", name, err)
+	}
+	p, err := premia.FromNsp(obj)
+	if err != nil {
+		return nil, fmt.Errorf("farm: rebuild problem %q: %w", name, err)
+	}
+	res, err := p.Compute()
+	if err != nil {
+		return nil, fmt.Errorf("farm: compute %q: %w", name, err)
+	}
+	return resultHash(name, res.Price, res.PriceCI, res.Delta, res.Work), nil
+}
+
+// FileStore reads problem files from the real file system (the live
+// counterpart of the cluster's NFS mount).
+type FileStore struct{}
+
+// Read implements Store.
+func (FileStore) Read(name string, size int) ([]byte, error) {
+	return os.ReadFile(name)
+}
+
+// MemStore serves problem bytes from memory; examples and tests use it as
+// a stand-in shared file system without touching disk.
+type MemStore map[string][]byte
+
+// Read implements Store.
+func (m MemStore) Read(name string, size int) ([]byte, error) {
+	data, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("farm: memstore: no file %q", name)
+	}
+	return data, nil
+}

@@ -1,0 +1,201 @@
+package farm
+
+import (
+	"fmt"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
+)
+
+// Loader abstracts the master-side preparation of a task's payload bytes
+// under a payload-shipping strategy. Live loaders really decode/re-encode
+// (FullLoad) or pass the sload bytes through (SerializedLoad); simulated
+// loaders charge modelled CPU time instead.
+type Loader interface {
+	// Load returns the payload for one task. It is not called under
+	// NFSLoad.
+	Load(t Task, s Strategy) ([]byte, error)
+}
+
+// RunMaster drives the Robin-Hood farm over the given communicator (the
+// paper's Fig. 4 master part): seed every worker with one batch, then feed
+// whichever worker answers first, and finally send each worker the empty
+// stop message. Workers are ranks 1..size-1. Results come back in
+// completion order.
+func RunMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]Result, error) {
+	nw := c.Size() - 1
+	if nw < 1 {
+		return nil, fmt.Errorf("farm: world of size %d has no workers", c.Size())
+	}
+	// Task names key the retry bookkeeping and the results; duplicates
+	// would silently conflate distinct claims.
+	seen := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		if seen[t.Name] {
+			return nil, fmt.Errorf("farm: duplicate task name %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	workers := make([]int, nw)
+	for i := range workers {
+		workers[i] = i + 1
+	}
+	results, err := runBatches(c, workers, splitBatches(tasks, opts.batchSize()), loader, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sendStop(c, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// splitBatches groups tasks into batches of at most bs.
+func splitBatches(tasks []Task, bs int) [][]Task {
+	var batches [][]Task
+	for i := 0; i < len(tasks); i += bs {
+		end := i + bs
+		if end > len(tasks) {
+			end = len(tasks)
+		}
+		batches = append(batches, tasks[i:end])
+	}
+	return batches
+}
+
+// sendBatch ships one batch (descriptor, then payload list if the
+// strategy carries payloads) to a worker.
+func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, strat Strategy) error {
+	if err := mpi.SendObj(c, encodeBatch(b), worker, TagTask); err != nil {
+		return fmt.Errorf("farm: send descriptor to %d: %w", worker, err)
+	}
+	if !strat.NeedsPayload() {
+		return nil
+	}
+	payload := nsp.NewList()
+	for _, t := range b {
+		data, err := loader.Load(t, strat)
+		if err != nil {
+			return fmt.Errorf("farm: load %q: %w", t.Name, err)
+		}
+		payload.Add(&nsp.Serial{Data: data})
+	}
+	if err := mpi.SendObj(c, payload, worker, TagPayload); err != nil {
+		return fmt.Errorf("farm: send payload to %d: %w", worker, err)
+	}
+	return nil
+}
+
+// recvResults receives one result list and appends its items, converting
+// worker-reported pricing failures into Results with Err set.
+func recvResults(c mpi.Comm, results []Result) ([]Result, int, error) {
+	st, err := c.Probe(mpi.AnySource, TagResult)
+	if err != nil {
+		return results, 0, fmt.Errorf("farm: probe results: %w", err)
+	}
+	obj, _, err := mpi.RecvObj(c, st.Source, TagResult)
+	if err != nil {
+		return results, 0, fmt.Errorf("farm: recv result from %d: %w", st.Source, err)
+	}
+	list, ok := obj.(*nsp.List)
+	if !ok {
+		return results, 0, fmt.Errorf("farm: result from %d is %v, want list", st.Source, obj.Kind())
+	}
+	for _, item := range list.Items {
+		name, err := resultName(item)
+		if err != nil {
+			return results, 0, err
+		}
+		r := Result{Name: name, Worker: st.Source, Value: item}
+		if msg, failed := resultError(item); failed {
+			// Value keeps the error hash so hierarchies can forward it.
+			r.Err = fmt.Errorf("farm: task %q failed on worker %d: %s", name, st.Source, msg)
+		}
+		results = append(results, r)
+	}
+	return results, st.Source, nil
+}
+
+// runBatches Robin-Hoods the batches over the given worker ranks without
+// sending the final stop message, so callers can reuse the workers for
+// further rounds (the sub-master case). Failed tasks are re-queued as
+// single-task batches up to opts.MaxRetries attempts beyond the first;
+// tasks that exhaust their budget are reported with Err set.
+func runBatches(c mpi.Comm, workers []int, batches [][]Task, loader Loader, opts Options) ([]Result, error) {
+	queue := make([][]Task, len(batches))
+	copy(queue, batches)
+	// assigned remembers which batch each worker is busy with, so failed
+	// task names can be matched back to their Task values for retry.
+	assigned := make(map[int][]Task, len(workers))
+	attempts := make(map[string]int)
+	var results []Result
+	inflight := 0
+	send := func(w int) error {
+		b := queue[0]
+		queue = queue[1:]
+		if err := sendBatch(c, w, b, loader, opts.Strategy); err != nil {
+			return err
+		}
+		assigned[w] = b
+		inflight++
+		return nil
+	}
+	for _, w := range workers {
+		if len(queue) == 0 {
+			break
+		}
+		if err := send(w); err != nil {
+			return nil, err
+		}
+	}
+	for inflight > 0 {
+		batch, from, err := recvResults(c, nil)
+		if err != nil {
+			return nil, err
+		}
+		was := assigned[from]
+		delete(assigned, from)
+		inflight--
+		for _, r := range batch {
+			if r.Err == nil {
+				results = append(results, r)
+				continue
+			}
+			attempts[r.Name]++
+			if attempts[r.Name] > opts.MaxRetries {
+				results = append(results, r)
+				continue
+			}
+			retried := false
+			for _, t := range was {
+				if t.Name == r.Name {
+					queue = append(queue, []Task{t})
+					retried = true
+					break
+				}
+			}
+			if !retried {
+				// The batch no longer carries the task (should not
+				// happen); report the failure rather than lose it.
+				results = append(results, r)
+			}
+		}
+		if len(queue) > 0 {
+			if err := send(from); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// sendStop sends the empty batch to each listed worker.
+func sendStop(c mpi.Comm, workers []int) error {
+	stop := encodeBatch(nil)
+	for _, w := range workers {
+		if err := mpi.SendObj(c, stop, w, TagTask); err != nil {
+			return fmt.Errorf("farm: send stop to %d: %w", w, err)
+		}
+	}
+	return nil
+}

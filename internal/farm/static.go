@@ -1,0 +1,62 @@
+package farm
+
+import (
+	"fmt"
+
+	"riskbench/internal/mpi"
+)
+
+// RunStaticMaster is the ablation baseline for the Robin-Hood scheduler:
+// tasks are assigned to workers round-robin up front, and a worker only
+// ever receives its own pre-assigned tasks (one outstanding at a time, no
+// stealing). With heterogeneous task costs this strands work on slow
+// queues, which is exactly what the paper's dynamic strategy avoids.
+func RunStaticMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]Result, error) {
+	nw := c.Size() - 1
+	if nw < 1 {
+		return nil, fmt.Errorf("farm: world of size %d has no workers", c.Size())
+	}
+	batches := splitBatches(tasks, opts.batchSize())
+	queues := make([][][]Task, nw)
+	for i, b := range batches {
+		q := i % nw
+		queues[q] = append(queues[q], b)
+	}
+	pos := make([]int, nw)
+	inflight := 0
+	var results []Result
+	for w := 0; w < nw; w++ {
+		if len(queues[w]) > 0 {
+			if err := sendBatch(c, w+1, queues[w][0], loader, opts.Strategy); err != nil {
+				return nil, err
+			}
+			pos[w] = 1
+			inflight++
+		}
+	}
+	for inflight > 0 {
+		var from int
+		var err error
+		results, from, err = recvResults(c, results)
+		if err != nil {
+			return nil, err
+		}
+		inflight--
+		q := from - 1
+		if pos[q] < len(queues[q]) {
+			if err := sendBatch(c, from, queues[q][pos[q]], loader, opts.Strategy); err != nil {
+				return nil, err
+			}
+			pos[q]++
+			inflight++
+		}
+	}
+	workers := make([]int, nw)
+	for i := range workers {
+		workers[i] = i + 1
+	}
+	if err := sendStop(c, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

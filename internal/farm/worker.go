@@ -1,0 +1,90 @@
+package farm
+
+import (
+	"fmt"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
+)
+
+// Executor abstracts the worker-side pricing of one task. Live executors
+// rebuild the premia problem from the payload and really compute;
+// simulated executors advance virtual time by the task's cost.
+type Executor interface {
+	// Execute prices one task and returns its result object (conventionally
+	// the hash built by resultHash). payload holds the problem bytes
+	// (possibly fetched from the store under NFSLoad); size is the payload
+	// size declared by the descriptor, which simulated NFS reads need.
+	Execute(name string, payload []byte, cost float64, size int) (nsp.Object, error)
+}
+
+// Store abstracts the shared file system used by the NFSLoad strategy.
+type Store interface {
+	// Read fetches a problem file's bytes by name. size is the byte count
+	// declared by the descriptor (simulated stores charge it as transfer
+	// volume; live stores may ignore it).
+	Read(name string, size int) ([]byte, error)
+}
+
+// RunWorker runs the Fig. 4 slave loop: receive a batch, fetch or unpack
+// its payloads, price every task, send the result list back, repeat until
+// the empty stop message arrives.
+func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
+	master := opts.MasterRank
+	for {
+		obj, _, err := mpi.RecvObj(c, master, TagTask)
+		if err != nil {
+			return fmt.Errorf("farm: worker %d recv descriptor: %w", c.Rank(), err)
+		}
+		names, costs, sizes, err := decodeBatch(obj)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil // stop message
+		}
+		payloads := make([][]byte, len(names))
+		if opts.Strategy.NeedsPayload() {
+			pobj, _, err := mpi.RecvObj(c, master, TagPayload)
+			if err != nil {
+				return fmt.Errorf("farm: worker %d recv payload: %w", c.Rank(), err)
+			}
+			list, ok := pobj.(*nsp.List)
+			if !ok || list.Len() != len(names) {
+				return fmt.Errorf("farm: worker %d: malformed payload list", c.Rank())
+			}
+			for i, item := range list.Items {
+				s, ok := item.(*nsp.Serial)
+				if !ok {
+					return fmt.Errorf("farm: worker %d: payload %d is %v, want serial", c.Rank(), i, item.Kind())
+				}
+				payloads[i] = s.Data
+			}
+		} else {
+			if store == nil {
+				return fmt.Errorf("farm: worker %d: NFS strategy without a store", c.Rank())
+			}
+			for i, name := range names {
+				data, err := store.Read(name, int(sizes[i]))
+				if err != nil {
+					return fmt.Errorf("farm: worker %d read %q: %w", c.Rank(), name, err)
+				}
+				payloads[i] = data
+			}
+		}
+		out := nsp.NewList()
+		for i, name := range names {
+			res, err := exec.Execute(name, payloads[i], costs[i], int(sizes[i]))
+			if err != nil {
+				// A pricing failure is the task's problem, not the
+				// worker's: report it and keep serving (the master decides
+				// whether to retry).
+				res = errorResultHash(name, err.Error())
+			}
+			out.Add(res)
+		}
+		if err := mpi.SendObj(c, out, master, TagResult); err != nil {
+			return fmt.Errorf("farm: worker %d send results: %w", c.Rank(), err)
+		}
+	}
+}

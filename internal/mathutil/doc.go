@@ -1,0 +1,14 @@
+// Package mathutil provides the numerical primitives shared by the pricing
+// library and the benchmark harness: a deterministic PCG64 random number
+// generator with Gaussian variates, the standard normal distribution
+// (density, cumulative distribution and its inverse), Cholesky
+// factorisation for correlated multi-asset simulation, tridiagonal solvers
+// for the finite-difference pricers (including the Brennan–Schwartz
+// variant used for American options), least-squares polynomial regression
+// for the Longstaff–Schwartz algorithm, and summary statistics for Monte
+// Carlo estimators.
+//
+// Everything here is stdlib-only and allocation-conscious: the solvers and
+// the regression accept caller-provided scratch space where it matters for
+// the inner loops of the pricers.
+package mathutil

@@ -1,0 +1,93 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+		{-6, 9.865876450376946e-10},
+	}
+	for _, c := range cases {
+		got := NormCDF(c.x)
+		if math.Abs(got-c.want) > 1e-12*math.Max(1, math.Abs(c.want)) && math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("NormCDF(%v) = %.17g, want %.17g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormPDFKnownValues(t *testing.T) {
+	if got := NormPDF(0); math.Abs(got-invSqrt2Pi) > 1e-16 {
+		t.Errorf("NormPDF(0) = %v", got)
+	}
+	if got := NormPDF(1); math.Abs(got-0.24197072451914337) > 1e-15 {
+		t.Errorf("NormPDF(1) = %v", got)
+	}
+}
+
+func TestInvNormCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-12, 1e-8, 0.001, 0.02425, 0.1, 0.25, 0.5, 0.75, 0.9, 0.97575, 0.999, 1 - 1e-8} {
+		x := InvNormCDF(p)
+		back := NormCDF(x)
+		if math.Abs(back-p) > 1e-11*math.Max(p, 1e-3) && math.Abs(back-p) > 1e-14 {
+			t.Errorf("NormCDF(InvNormCDF(%g)) = %g", p, back)
+		}
+	}
+}
+
+func TestInvNormCDFEdges(t *testing.T) {
+	if !math.IsInf(InvNormCDF(0), -1) {
+		t.Error("InvNormCDF(0) should be -Inf")
+	}
+	if !math.IsInf(InvNormCDF(1), 1) {
+		t.Error("InvNormCDF(1) should be +Inf")
+	}
+	if !math.IsNaN(InvNormCDF(math.NaN())) {
+		t.Error("InvNormCDF(NaN) should be NaN")
+	}
+	if InvNormCDF(0.5) != 0 {
+		// Acklam central branch at exactly 0.5 gives 0 before refinement;
+		// refinement keeps it 0 up to floating error.
+		if math.Abs(InvNormCDF(0.5)) > 1e-15 {
+			t.Errorf("InvNormCDF(0.5) = %v", InvNormCDF(0.5))
+		}
+	}
+}
+
+func TestInvNormCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return InvNormCDF(pa) <= InvNormCDF(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormCDFSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 10)
+		return math.Abs(NormCDF(x)+NormCDF(-x)-1) < 1e-14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package mathutil
+
+import "math"
+
+// GaussLegendre computes the n nodes and weights of the Gauss–Legendre
+// quadrature rule on [-1, 1] by Newton iteration on the Legendre
+// polynomial, the classical Golub-free construction. It is used by the
+// semi-analytic Heston pricer to evaluate the inversion integrals.
+func GaussLegendre(n int) (nodes, weights []float64) {
+	if n <= 0 {
+		panic("mathutil: GaussLegendre with n <= 0")
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	m := (n + 1) / 2
+	for i := 0; i < m; i++ {
+		// Chebyshev-based initial guess for the i-th root.
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			// Evaluate P_n(x) and its derivative by the recurrence.
+			p0, p1 := 1.0, 0.0
+			for j := 0; j < n; j++ {
+				p2 := p1
+				p1 = p0
+				p0 = ((2*float64(j)+1)*x*p1 - float64(j)*p2) / float64(j+1)
+			}
+			pp = float64(n) * (x*p0 - p1) / (x*x - 1)
+			dx := p0 / pp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		w := 2 / ((1 - x*x) * pp * pp)
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	return nodes, weights
+}
+
+// Integrate applies the quadrature rule (nodes, weights on [-1,1]) to f
+// over [a, b] by affine change of variable.
+func Integrate(f func(float64) float64, a, b float64, nodes, weights []float64) float64 {
+	half := (b - a) / 2
+	mid := (a + b) / 2
+	sum := 0.0
+	for i, x := range nodes {
+		sum += weights[i] * f(mid+half*x)
+	}
+	return half * sum
+}

@@ -1,0 +1,56 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussLegendrePolynomialExactness(t *testing.T) {
+	// An n-point rule integrates polynomials up to degree 2n-1 exactly.
+	nodes, weights := GaussLegendre(5)
+	for deg := 0; deg <= 9; deg++ {
+		got := Integrate(func(x float64) float64 { return math.Pow(x, float64(deg)) }, -1, 1, nodes, weights)
+		want := 0.0
+		if deg%2 == 0 {
+			want = 2 / float64(deg+1)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("degree %d: got %v, want %v", deg, got, want)
+		}
+	}
+}
+
+func TestGaussLegendreWeightsSumToTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 33, 128} {
+		_, w := GaussLegendre(n)
+		sum := 0.0
+		for _, x := range w {
+			sum += x
+		}
+		if math.Abs(sum-2) > 1e-12 {
+			t.Errorf("n=%d: weights sum to %v", n, sum)
+		}
+	}
+}
+
+func TestIntegrateTranscendental(t *testing.T) {
+	nodes, weights := GaussLegendre(64)
+	got := Integrate(math.Exp, 0, 1, nodes, weights)
+	want := math.E - 1
+	if math.Abs(got-want) > 1e-13 {
+		t.Errorf("∫exp = %v, want %v", got, want)
+	}
+	got = Integrate(func(x float64) float64 { return math.Sin(x) * math.Sin(x) }, 0, math.Pi, nodes, weights)
+	if math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("∫sin² = %v, want %v", got, math.Pi/2)
+	}
+}
+
+func TestGaussLegendrePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GaussLegendre(0)
+}

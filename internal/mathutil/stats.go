@@ -1,0 +1,118 @@
+package mathutil
+
+import "math"
+
+// Welford accumulates a running mean and variance using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations seen.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return math.Sqrt(w.Variance() / float64(w.n))
+}
+
+// HalfWidth95 returns the half-width of the asymptotic 95% confidence
+// interval around the mean.
+func (w *Welford) HalfWidth95() float64 {
+	return 1.959963984540054 * w.StdErr()
+}
+
+// Merge folds another accumulator into w (parallel Welford combination),
+// so per-goroutine accumulators can be reduced deterministically.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxFloat returns the maximum of xs; it panics on an empty slice.
+func MaxFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("mathutil: MaxFloat of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// LinInterp returns the piecewise-linear interpolation of (xs, ys) at x,
+// clamping outside the grid. xs must be strictly increasing and the two
+// slices the same non-zero length. Used by the local-volatility surface.
+func LinInterp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		panic("mathutil: LinInterp length mismatch")
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return ys[lo] + t*(ys[hi]-ys[lo])
+}

@@ -1,0 +1,128 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		w.Add(x)
+	}
+	if w.N() != 5 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-3) > 1e-15 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if math.Abs(w.Variance()-2.5) > 1e-12 {
+		t.Fatalf("Variance = %v", w.Variance())
+	}
+	if math.Abs(w.StdErr()-math.Sqrt(0.5)) > 1e-12 {
+		t.Fatalf("StdErr = %v", w.StdErr())
+	}
+	if w.HalfWidth95() <= 0 {
+		t.Fatal("HalfWidth95 not positive")
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty accumulator should be all zeros")
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		var whole, a, b Welford
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9*scale &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-6*math.Max(1, whole.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merge with empty changed state")
+	}
+	var c Welford
+	c.Merge(a)
+	if c.N() != 2 || c.Mean() != 2 {
+		t.Fatal("merge into empty lost state")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if MaxFloat([]float64{3, -1, 7, 2}) != 7 {
+		t.Fatal("MaxFloat wrong")
+	}
+}
+
+func TestLinInterp(t *testing.T) {
+	xs := []float64{0, 1, 3}
+	ys := []float64{10, 20, 0}
+	cases := []struct{ x, want float64 }{
+		{-5, 10},  // clamp left
+		{0, 10},   // node
+		{0.5, 15}, // interior
+		{1, 20},
+		{2, 10},
+		{3, 0},
+		{9, 0}, // clamp right
+	}
+	for _, c := range cases {
+		if got := LinInterp(xs, ys, c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("LinInterp(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLinInterpMonotoneInputProperty(t *testing.T) {
+	// For increasing ys, the interpolant must stay within [min, max].
+	xs := []float64{0, 0.5, 1, 2, 4, 8}
+	ys := []float64{1, 2, 3, 5, 8, 13}
+	r := NewRNG(33)
+	for i := 0; i < 1000; i++ {
+		x := 10*r.Float64() - 1
+		v := LinInterp(xs, ys, x)
+		if v < 1 || v > 13 {
+			t.Fatalf("interpolant escaped range: f(%v) = %v", x, v)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package mathutil
+
+import "errors"
+
+// ErrSingular is returned by the linear solvers when a pivot vanishes.
+var ErrSingular = errors.New("mathutil: singular system")
+
+// SolveTridiag solves the tridiagonal system with sub-diagonal a[1..n-1],
+// diagonal b[0..n-1], super-diagonal c[0..n-2] and right-hand side d,
+// writing the solution into x (which may alias d). a[0] and c[n-1] are
+// ignored. scratch must have length >= n; it is overwritten.
+//
+// This is the Thomas algorithm, O(n), stable for the diagonally dominant
+// systems produced by the Crank–Nicolson pricers.
+func SolveTridiag(a, b, c, d, x, scratch []float64) error {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n || len(x) < n || len(scratch) < n {
+		panic("mathutil: SolveTridiag length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	cp := scratch
+	beta := b[0]
+	if beta == 0 {
+		return ErrSingular
+	}
+	x[0] = d[0] / beta
+	for i := 1; i < n; i++ {
+		cp[i] = c[i-1] / beta
+		beta = b[i] - a[i]*cp[i]
+		if beta == 0 {
+			return ErrSingular
+		}
+		x[i] = (d[i] - a[i]*x[i-1]) / beta
+	}
+	for i := n - 2; i >= 0; i-- {
+		x[i] -= cp[i+1] * x[i+1]
+	}
+	return nil
+}
+
+// SolveTridiagBS solves the same tridiagonal system as SolveTridiag but
+// applies the Brennan–Schwartz projection against the obstacle psi during
+// the backward substitution: the result satisfies x[i] >= psi[i] for all i.
+// This is the standard direct method for American option PDEs when the
+// exercise region is connected (true for vanilla puts). The sweep runs
+// upward so that the projection propagates from the deep-in-the-money end
+// (low asset prices for a put).
+func SolveTridiagBS(a, b, c, d, psi, x, scratch []float64) error {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n || len(psi) != n || len(x) < n || len(scratch) < n {
+		panic("mathutil: SolveTridiagBS length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	// Eliminate the super-diagonal from the top (i = n-1 downward) so the
+	// back substitution proceeds from i = 0 upward, where the put obstacle
+	// binds first.
+	bp := scratch
+	dp := x // reuse x as the transformed rhs
+	bp[n-1] = b[n-1]
+	dp[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		if bp[i+1] == 0 {
+			return ErrSingular
+		}
+		m := c[i] / bp[i+1]
+		bp[i] = b[i] - m*a[i+1]
+		dp[i] = d[i] - m*dp[i+1]
+	}
+	if bp[0] == 0 {
+		return ErrSingular
+	}
+	x[0] = dp[0] / bp[0]
+	if x[0] < psi[0] {
+		x[0] = psi[0]
+	}
+	for i := 1; i < n; i++ {
+		if bp[i] == 0 {
+			return ErrSingular
+		}
+		x[i] = (dp[i] - a[i]*x[i-1]) / bp[i]
+		if x[i] < psi[i] {
+			x[i] = psi[i]
+		}
+	}
+	return nil
+}
+
+// PSOR solves the linear complementarity problem
+//
+//	M x >= d,  x >= psi,  (Mx - d)'(x - psi) = 0
+//
+// for the tridiagonal matrix M = tridiag(a, b, c) using projected SOR with
+// relaxation factor omega, starting from the initial guess already in x.
+// It returns the number of iterations performed, or an error if tol is not
+// reached within maxIter sweeps.
+func PSOR(a, b, c, d, psi, x []float64, omega, tol float64, maxIter int) (int, error) {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n || len(psi) != n || len(x) != n {
+		panic("mathutil: PSOR length mismatch")
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			sum := d[i]
+			if i > 0 {
+				sum -= a[i] * x[i-1]
+			}
+			if i < n-1 {
+				sum -= c[i] * x[i+1]
+			}
+			if b[i] == 0 {
+				return iter, ErrSingular
+			}
+			gs := sum / b[i]
+			xn := x[i] + omega*(gs-x[i])
+			if xn < psi[i] {
+				xn = psi[i]
+			}
+			delta := xn - x[i]
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			x[i] = xn
+		}
+		if maxDelta < tol {
+			return iter, nil
+		}
+	}
+	return maxIter, errors.New("mathutil: PSOR did not converge")
+}

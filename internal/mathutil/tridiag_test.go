@@ -1,0 +1,185 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+)
+
+// applyTridiag computes y = M x for M = tridiag(a, b, c).
+func applyTridiag(a, b, c, x []float64) []float64 {
+	n := len(b)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[i] * x[i]
+		if i > 0 {
+			y[i] += a[i] * x[i-1]
+		}
+		if i < n-1 {
+			y[i] += c[i] * x[i+1]
+		}
+	}
+	return y
+}
+
+func randomDominantSystem(r *RNG, n int) (a, b, c, x []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	c = make([]float64, n)
+	x = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Float64() - 0.5
+		c[i] = r.Float64() - 0.5
+		b[i] = 2 + r.Float64() // diagonally dominant
+		x[i] = 2*r.Float64() - 1
+	}
+	return
+}
+
+func TestSolveTridiagRecoversSolution(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int{1, 2, 3, 10, 100, 999} {
+		a, b, c, want := randomDominantSystem(r, n)
+		d := applyTridiag(a, b, c, want)
+		got := make([]float64, n)
+		scratch := make([]float64, n)
+		if err := SolveTridiag(a, b, c, d, got, scratch); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveTridiagEmpty(t *testing.T) {
+	if err := SolveTridiag(nil, nil, nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTridiagSingular(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{0, 1}
+	c := []float64{0, 0}
+	d := []float64{1, 1}
+	x := make([]float64, 2)
+	if err := SolveTridiag(a, b, c, d, x, make([]float64, 2)); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveTridiagAliasD(t *testing.T) {
+	r := NewRNG(2)
+	n := 50
+	a, b, c, want := randomDominantSystem(r, n)
+	d := applyTridiag(a, b, c, want)
+	if err := SolveTridiag(a, b, c, d, d, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-10 {
+			t.Fatalf("aliased solve wrong at %d", i)
+		}
+	}
+}
+
+func TestBrennanSchwartzMatchesUnconstrainedWhenObstacleInactive(t *testing.T) {
+	r := NewRNG(3)
+	n := 80
+	a, b, c, want := randomDominantSystem(r, n)
+	d := applyTridiag(a, b, c, want)
+	psi := make([]float64, n)
+	for i := range psi {
+		psi[i] = -1e9 // never binds
+	}
+	got := make([]float64, n)
+	if err := SolveTridiagBS(a, b, c, d, psi, got, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBrennanSchwartzRespectsObstacle(t *testing.T) {
+	r := NewRNG(4)
+	n := 60
+	a, b, c, sol := randomDominantSystem(r, n)
+	d := applyTridiag(a, b, c, sol)
+	psi := make([]float64, n)
+	for i := range psi {
+		psi[i] = sol[i] + 0.5 // obstacle strictly above the free solution
+	}
+	got := make([]float64, n)
+	if err := SolveTridiagBS(a, b, c, d, psi, got, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] < psi[i]-1e-12 {
+			t.Fatalf("obstacle violated at %d: %v < %v", i, got[i], psi[i])
+		}
+	}
+}
+
+func TestPSORSolvesLCP(t *testing.T) {
+	r := NewRNG(5)
+	n := 60
+	a, b, c, sol := randomDominantSystem(r, n)
+	// Make the matrix an M-matrix-like system (negative off-diagonals) as
+	// produced by implicit finite differences, for PSOR convergence.
+	for i := range a {
+		a[i] = -math.Abs(a[i])
+		c[i] = -math.Abs(c[i])
+	}
+	d := applyTridiag(a, b, c, sol)
+	psi := make([]float64, n)
+	for i := range psi {
+		psi[i] = sol[i] - 1 // inactive obstacle: PSOR must reproduce sol
+	}
+	x := make([]float64, n)
+	iters, err := PSOR(a, b, c, d, psi, x, 1.2, 1e-12, 10000)
+	if err != nil {
+		t.Fatalf("PSOR: %v after %d iters", err, iters)
+	}
+	for i := range sol {
+		if math.Abs(x[i]-sol[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], sol[i])
+		}
+	}
+}
+
+func TestPSORAgainstBrennanSchwartz(t *testing.T) {
+	// With an active obstacle on an M-matrix with connected contact set the
+	// two methods must agree.
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	psi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i], c[i] = -1, -1
+		b[i] = 2.5
+		d[i] = 0.1
+		// Decreasing obstacle: binds at the left end (like a put payoff).
+		psi[i] = 1 - float64(i)/float64(n)
+	}
+	xbs := make([]float64, n)
+	if err := SolveTridiagBS(a, b, c, d, psi, xbs, make([]float64, n)); err != nil {
+		t.Fatal(err)
+	}
+	xp := make([]float64, n)
+	copy(xp, psi)
+	if _, err := PSOR(a, b, c, d, psi, xp, 1.3, 1e-13, 20000); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xbs {
+		if math.Abs(xbs[i]-xp[i]) > 1e-7 {
+			t.Fatalf("mismatch at %d: BS=%v PSOR=%v", i, xbs[i], xp[i])
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// runCollective executes body concurrently on every rank of a fresh local
+// world and waits for completion.
+func runCollective(t *testing.T, size int, body func(c Comm)) {
+	t.Helper()
+	w := NewLocalWorld(size)
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for _, root := range []int{0, size - 1, size / 2} {
+			payload := []byte(fmt.Sprintf("msg-%d-%d", size, root))
+			var mu sync.Mutex
+			got := map[int][]byte{}
+			runCollective(t, size, func(c Comm) {
+				var in []byte
+				if c.Rank() == root {
+					in = payload
+				}
+				out, err := Bcast(c, in, root)
+				if err != nil {
+					t.Errorf("size %d root %d rank %d: %v", size, root, c.Rank(), err)
+					return
+				}
+				mu.Lock()
+				got[c.Rank()] = out
+				mu.Unlock()
+			})
+			for r := 0; r < size; r++ {
+				if !bytes.Equal(got[r], payload) {
+					t.Fatalf("size %d root %d: rank %d got %q", size, root, r, got[r])
+				}
+			}
+		}
+	}
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	if _, err := Bcast(w.Comm(0), nil, 5); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	const size = 8
+	var mu sync.Mutex
+	before := 0
+	runCollective(t, size, func(c Comm) {
+		mu.Lock()
+		before++
+		mu.Unlock()
+		if err := Barrier(c); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if before != size {
+			t.Errorf("rank %d passed the barrier with only %d arrivals", c.Rank(), before)
+		}
+	})
+}
+
+func TestBarrierSizeOne(t *testing.T) {
+	w := NewLocalWorld(1)
+	defer w.Close()
+	if err := Barrier(w.Comm(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const size = 6
+	const root = 2
+	var got [][]byte
+	runCollective(t, size, func(c Comm) {
+		out, err := Gather(c, []byte{byte(c.Rank() * 10)}, root)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == root {
+			got = out
+		} else if out != nil {
+			t.Errorf("rank %d got non-nil gather result", c.Rank())
+		}
+	})
+	if len(got) != size {
+		t.Fatalf("gathered %d parts", len(got))
+	}
+	for r, part := range got {
+		if len(part) != 1 || part[0] != byte(r*10) {
+			t.Fatalf("part %d = %v", r, part)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const size = 5
+	const root = 0
+	parts := make([][]byte, size)
+	for i := range parts {
+		parts[i] = []byte{byte(i), byte(i * i)}
+	}
+	var mu sync.Mutex
+	got := map[int][]byte{}
+	runCollective(t, size, func(c Comm) {
+		var in [][]byte
+		if c.Rank() == root {
+			in = parts
+		}
+		out, err := Scatter(c, in, root)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		got[c.Rank()] = out
+		mu.Unlock()
+	})
+	for r := 0; r < size; r++ {
+		if !bytes.Equal(got[r], parts[r]) {
+			t.Fatalf("rank %d got %v, want %v", r, got[r], parts[r])
+		}
+	}
+}
+
+func TestScatterWrongPartCount(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	if _, err := Scatter(w.Comm(0), [][]byte{{1}}, 0); err == nil {
+		t.Fatal("wrong part count accepted")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13} {
+		var got []float64
+		root := size - 1
+		runCollective(t, size, func(c Comm) {
+			vec := []float64{float64(c.Rank()), 1, float64(c.Rank() * c.Rank())}
+			out, err := Reduce(c, vec, OpSum, root)
+			if err != nil {
+				t.Errorf("size %d rank %d: %v", size, c.Rank(), err)
+				return
+			}
+			if c.Rank() == root {
+				got = out
+			}
+		})
+		wantSum := 0.0
+		wantSq := 0.0
+		for r := 0; r < size; r++ {
+			wantSum += float64(r)
+			wantSq += float64(r * r)
+		}
+		want := []float64{wantSum, float64(size), wantSq}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("size %d: reduce = %v, want %v", size, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	const size = 7
+	var gotMax, gotMin []float64
+	runCollective(t, size, func(c Comm) {
+		out, err := Reduce(c, []float64{float64(c.Rank())}, OpMax, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			gotMax = out
+		}
+	})
+	runCollective(t, size, func(c Comm) {
+		out, err := Reduce(c, []float64{float64(c.Rank())}, OpMin, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			gotMin = out
+		}
+	})
+	if gotMax[0] != size-1 || gotMin[0] != 0 {
+		t.Fatalf("max %v min %v", gotMax, gotMin)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	const size = 6
+	var mu sync.Mutex
+	got := map[int][]float64{}
+	runCollective(t, size, func(c Comm) {
+		out, err := AllReduce(c, []float64{1, float64(c.Rank())}, OpSum)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		got[c.Rank()] = out
+		mu.Unlock()
+	})
+	want := []float64{size, float64(size * (size - 1) / 2)}
+	for r := 0; r < size; r++ {
+		if len(got[r]) != 2 || got[r][0] != want[0] || got[r][1] != want[1] {
+			t.Fatalf("rank %d: %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+func TestCollectivesOverTCP(t *testing.T) {
+	hub, workers := startTCPWorld(t, 4)
+	var wg sync.WaitGroup
+	results := make([][]float64, 4)
+	run := func(idx int, c Comm) {
+		defer wg.Done()
+		out, err := AllReduce(c, []float64{float64(c.Rank() + 1)}, OpSum)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		results[idx] = out
+	}
+	wg.Add(4)
+	go run(0, hub)
+	for i, w := range workers {
+		go run(i+1, w)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if len(r) != 1 || r[0] != 10 { // 1+2+3+4
+			t.Fatalf("participant %d: %v", i, r)
+		}
+	}
+}
+
+func TestEncodeDecodeFloats(t *testing.T) {
+	vec := []float64{0, -1.5, math.Inf(1), math.Pi}
+	back, err := decodeFloats(encodeFloats(vec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if back[i] != vec[i] {
+			t.Fatalf("round trip lost %v", vec[i])
+		}
+	}
+	if _, err := decodeFloats([]byte{1, 2, 3}); err == nil {
+		t.Fatal("bad length accepted")
+	}
+}

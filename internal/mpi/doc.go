@@ -1,0 +1,22 @@
+// Package mpi provides the message-passing layer of the benchmark: a small
+// MPI-2-flavoured API (ranked communicators, tagged sends, blocking
+// probe/receive, packed buffers, object transmission) implemented from
+// scratch on two transports, since Go has no MPI ecosystem:
+//
+//   - an in-process transport where every rank is a goroutine and messages
+//     move through mailboxes (the moral equivalent of MPI_Comm_spawn-ing
+//     Nsp slaves on one node, paper Fig. 1);
+//   - a TCP transport with a hub topology: rank 0 listens, workers dial
+//     in, and frames are routed through the hub so any rank can message
+//     any other rank with a single connection per worker.
+//
+// On top of raw byte messages the package offers the paper's object
+// primitives: SendObj/RecvObj transmit any nsp.Object by transparent
+// serialization (and, as in Nsp, RecvObj "unseals" a received Serial
+// object back into the value it wraps), while Pack/Unpack expose the
+// MPI_Pack/MPI_Unpack buffer path used by the Fig. 4–5 scripts.
+//
+// The third implementation of Comm lives in package simnet: a
+// discrete-event simulated cluster with the same semantics but virtual
+// time, used to reproduce the paper's 2–512 CPU sweeps on one machine.
+package mpi

@@ -1,0 +1,346 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"riskbench/internal/nsp"
+)
+
+func TestLocalSendRecv(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	go func() {
+		if err := w.Comm(1).Send([]byte("hello"), 0, 7); err != nil {
+			t.Error(err)
+		}
+	}()
+	data, st, err := w.Comm(0).Recv(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" || st.Source != 1 || st.Tag != 7 || st.Bytes != 5 {
+		t.Fatalf("got %q, %+v", data, st)
+	}
+}
+
+func TestLocalProbeThenRecv(t *testing.T) {
+	// The paper's receive pattern: probe for size, allocate, then recv.
+	w := NewLocalWorld(2)
+	defer w.Close()
+	go w.Comm(0).Send(make([]byte, 1234), 1, 3)
+	st, err := w.Comm(1).Probe(AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != 1234 || st.Source != 0 || st.Tag != 3 {
+		t.Fatalf("probe status %+v", st)
+	}
+	// Probe must not consume: a second probe sees the same message.
+	st2, err := w.Comm(1).Probe(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != st {
+		t.Fatalf("second probe %+v != first %+v", st2, st)
+	}
+	data, _, err := w.Comm(1).Recv(st.Source, st.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1234 {
+		t.Fatalf("recv %d bytes", len(data))
+	}
+}
+
+func TestLocalTagFiltering(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	if err := c0.Send([]byte("a"), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Send([]byte("b"), 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Receive tag 2 first even though tag 1 arrived earlier.
+	data, _, err := c1.Recv(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "b" {
+		t.Fatalf("tag filter broke: %q", data)
+	}
+	data, _, err = c1.Recv(AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a" {
+		t.Fatalf("leftover message wrong: %q", data)
+	}
+}
+
+func TestLocalOrderPreservedPerPair(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := w.Comm(0).Send([]byte{byte(i)}, 1, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		data, _, err := w.Comm(1).Recv(0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %d", i, data[0])
+		}
+	}
+}
+
+func TestLocalSendCopiesData(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	buf := []byte("immutable?")
+	if err := w.Comm(0).Send(buf, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	data, _, err := w.Comm(1).Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "immutable?" {
+		t.Fatal("send aliased the caller's buffer")
+	}
+}
+
+func TestLocalSendInvalidRank(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	if err := w.Comm(0).Send(nil, 5, 0); err == nil {
+		t.Fatal("send to rank 5 in a 2-world succeeded")
+	}
+	if err := w.Comm(0).Send(nil, -1, 0); err == nil {
+		t.Fatal("send to rank -1 succeeded")
+	}
+}
+
+func TestLocalCloseUnblocks(t *testing.T) {
+	w := NewLocalWorld(2)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w.Comm(1).Recv(0, 0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestLocalManyToOneConcurrent(t *testing.T) {
+	const workers = 16
+	const per = 50
+	w := NewLocalWorld(workers + 1)
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Comm(rank).Send([]byte(fmt.Sprintf("%d:%d", rank, i)), 0, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < workers*per; i++ {
+		data, st, err := w.Comm(0).Recv(AnySource, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Source < 1 || st.Source > workers {
+			t.Fatalf("bad source %d", st.Source)
+		}
+		if seen[string(data)] {
+			t.Fatalf("duplicate message %q", data)
+		}
+		seen[string(data)] = true
+	}
+	wg.Wait()
+}
+
+func TestSpawn(t *testing.T) {
+	// Echo workers: receive one message, send it back, exit.
+	master, wait := Spawn(4, func(c Comm) {
+		data, st, err := c.Recv(0, AnyTag)
+		if err != nil {
+			return
+		}
+		_ = c.Send(data, 0, st.Tag)
+	})
+	for r := 1; r <= 4; r++ {
+		if err := master.Send([]byte{byte(r)}, r, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for r := 1; r <= 4; r++ {
+		data, st, err := master.Recv(AnySource, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(data[0]) != st.Source {
+			t.Fatalf("echo mismatch: %d from %d", data[0], st.Source)
+		}
+		got++
+	}
+	if got != 4 {
+		t.Fatalf("got %d echoes", got)
+	}
+	wait()
+}
+
+func TestSendRecvObj(t *testing.T) {
+	// Paper: A=list('string',%t,rand(4,4)); MPI_Send_Obj; MPI_Recv_Obj.
+	w := NewLocalWorld(2)
+	defer w.Close()
+	mat := nsp.NewMat(4, 4)
+	for i := range mat.Data {
+		mat.Data[i] = float64(i) / 16
+	}
+	a := nsp.NewList(nsp.Str("string"), nsp.Bool(true), mat)
+	go func() {
+		if err := SendObj(w.Comm(0), a, 1, 3); err != nil {
+			t.Error(err)
+		}
+	}()
+	b, st, err := RecvObj(w.Comm(1), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != 0 {
+		t.Fatalf("source %d", st.Source)
+	}
+	if !b.Equal(a) {
+		t.Fatal("object changed in transit")
+	}
+}
+
+func TestSendObjSerialUnseals(t *testing.T) {
+	// Paper: S=serialize(A); MPI_Send_Obj(S,...); B=MPI_Recv_Obj → B.equal[A].
+	w := NewLocalWorld(2)
+	defer w.Close()
+	a := nsp.RowVec(1, 2, 3)
+	s, err := nsp.Serialize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := SendObj(w.Comm(0), s, 1, 0); err != nil {
+			t.Error(err)
+		}
+	}()
+	b, _, err := RecvObj(w.Comm(1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(a) {
+		t.Fatalf("unsealed object %v != original", b)
+	}
+}
+
+func TestSendObjCompressedSerialUnseals(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	a := nsp.NewMat(1, 100)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	s, err := nsp.Serialize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := s.Compress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := SendObj(w.Comm(0), cs, 1, 0); err != nil {
+			t.Error(err)
+		}
+	}()
+	b, _, err := RecvObj(w.Comm(1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(a) {
+		t.Fatal("compressed serial did not unseal to the original")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	// Paper: H=hash(A=..., B=...); P=MPI_Pack(H); send; probe; mpibuf;
+	// recv; MPI_Unpack.
+	w := NewLocalWorld(2)
+	defer w.Close()
+	h := nsp.NewHash()
+	h.Set("A", nsp.RowVec(1, 0))
+	h.Set("B", nsp.NewList(nsp.Str("foo"), nsp.RowVec(1, 2, 3, 4)))
+	p, err := Pack(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := w.Comm(0).Send(p.Data, 1, 11); err != nil {
+			t.Error(err)
+		}
+	}()
+	st, err := w.Comm(1).Probe(AnySource, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuf(st.Bytes)
+	data, _, err := w.Comm(1).Recv(st.Source, st.Tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf.Data, data)
+	h1, err := buf.Unpack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.Equal(h) {
+		t.Fatal("pack/unpack changed the hash")
+	}
+}
+
+func TestUnpackGarbage(t *testing.T) {
+	b := &Buf{Data: []byte("not a stream")}
+	if _, err := b.Unpack(); err == nil {
+		t.Fatal("garbage unpacked")
+	}
+}
+
+func TestNewLocalWorldPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLocalWorld(0)
+}

@@ -1,0 +1,82 @@
+package mpi
+
+import "sync"
+
+// mailbox is an ordered store of received messages with blocking matched
+// retrieval. It preserves arrival order per (source, tag) pair, which is
+// all MPI guarantees, and in fact preserves global arrival order.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// put appends a message and wakes all waiters.
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.msgs = append(mb.msgs, m)
+	mb.cond.Broadcast()
+}
+
+// close unblocks every waiter with ErrClosed.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// find returns the index of the first matching message, or -1.
+func (mb *mailbox) find(source, tag int) int {
+	for i, m := range mb.msgs {
+		if matches(m, source, tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// probe blocks until a matching message exists and returns its status
+// without consuming it.
+func (mb *mailbox) probe(source, tag int) (Status, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if i := mb.find(source, tag); i >= 0 {
+			m := mb.msgs[i]
+			return Status{Source: m.source, Tag: m.tag, Bytes: len(m.data)}, nil
+		}
+		if mb.closed {
+			return Status{}, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+// recv blocks until a matching message exists and removes it.
+func (mb *mailbox) recv(source, tag int) (message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if i := mb.find(source, tag); i >= 0 {
+			m := mb.msgs[i]
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return m, nil
+		}
+		if mb.closed {
+			return message{}, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}

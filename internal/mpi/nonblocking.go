@@ -1,0 +1,89 @@
+package mpi
+
+// Non-blocking operations in the MPI-2 style: Isend/Irecv return a
+// Request immediately; Wait blocks until the transfer completes. They are
+// implemented with goroutines over the blocking primitives, so they work
+// on the live transports (local and TCP). The simulated transport's
+// single-token process model is inherently blocking, so simnet
+// communicators should not be used with these helpers.
+
+// Request tracks an in-flight non-blocking operation.
+type Request struct {
+	done   chan struct{}
+	data   []byte
+	status Status
+	err    error
+}
+
+// Wait blocks until the operation completes and returns its status (and,
+// for receives, leaves the payload available via Data).
+func (r *Request) Wait() (Status, error) {
+	<-r.done
+	return r.status, r.err
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Data returns the received payload after Wait on an Irecv request; nil
+// for sends or incomplete requests.
+func (r *Request) Data() []byte {
+	if !r.Test() {
+		return nil
+	}
+	return r.data
+}
+
+// Isend starts a non-blocking send. The payload is copied before Isend
+// returns, so the caller may immediately reuse the slice.
+func Isend(c Comm, data []byte, dest, tag int) *Request {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.err = c.Send(cp, dest, tag)
+		r.status = Status{Source: c.Rank(), Tag: tag, Bytes: len(cp)}
+	}()
+	return r
+}
+
+// Irecv starts a non-blocking receive matching (source, tag), wildcards
+// allowed.
+func Irecv(c Comm, source, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.data, r.status, r.err = c.Recv(source, tag)
+	}()
+	return r
+}
+
+// WaitAll waits for every request and returns the first error, if any.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sendrecv performs a simultaneous send and receive, the classic
+// deadlock-free exchange (MPI_Sendrecv).
+func Sendrecv(c Comm, sendData []byte, dest, sendTag, source, recvTag int) ([]byte, Status, error) {
+	sreq := Isend(c, sendData, dest, sendTag)
+	data, st, err := c.Recv(source, recvTag)
+	if _, serr := sreq.Wait(); serr != nil && err == nil {
+		return nil, st, serr
+	}
+	return data, st, err
+}

@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIsendIrecv(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	rr := Irecv(w.Comm(1), 0, 5)
+	if rr.Test() {
+		t.Fatal("Irecv completed before any send")
+	}
+	sr := Isend(w.Comm(0), []byte("async"), 1, 5)
+	if _, err := sr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := rr.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Data()) != "async" || st.Source != 0 || st.Tag != 5 {
+		t.Fatalf("got %q %+v", rr.Data(), st)
+	}
+	if !rr.Test() {
+		t.Fatal("Test false after completion")
+	}
+}
+
+func TestIsendCopiesBuffer(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	buf := []byte("original")
+	sr := Isend(w.Comm(0), buf, 1, 0)
+	buf[0] = 'X' // mutate immediately
+	if _, err := sr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := w.Comm(1).Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "original" {
+		t.Fatalf("Isend aliased the buffer: %q", data)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	var reqs []*Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, Isend(w.Comm(0), []byte{byte(i)}, 1, i))
+	}
+	if err := WaitAll(reqs...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		data, _, err := w.Comm(1).Recv(0, i)
+		if err != nil || data[0] != byte(i) {
+			t.Fatalf("tag %d: %v %v", i, data, err)
+		}
+	}
+}
+
+func TestWaitAllPropagatesError(t *testing.T) {
+	w := NewLocalWorld(2)
+	defer w.Close()
+	bad := Isend(w.Comm(0), nil, 99, 0) // invalid destination
+	good := Isend(w.Comm(0), nil, 1, 0)
+	if err := WaitAll(bad, good); err == nil {
+		t.Fatal("invalid send not reported")
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	// Two ranks exchanging simultaneously with blocking Send/Recv on an
+	// unbuffered transport could deadlock; Sendrecv must not.
+	w := NewLocalWorld(2)
+	defer w.Close()
+	var wg sync.WaitGroup
+	out := make([][]byte, 2)
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			peer := 1 - r
+			data, _, err := Sendrecv(w.Comm(r), []byte{byte(r + 10)}, peer, 1, peer, 1)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			out[r] = data
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sendrecv deadlocked")
+	}
+	if out[0][0] != 11 || out[1][0] != 10 {
+		t.Fatalf("exchange wrong: %v", out)
+	}
+}
+
+func TestIrecvOverTCP(t *testing.T) {
+	hub, workers := startTCPWorld(t, 2)
+	rr := Irecv(workers[0], 0, 3)
+	if err := hub.Send([]byte("tcp-async"), 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Data()) != "tcp-async" {
+		t.Fatalf("got %q", rr.Data())
+	}
+}

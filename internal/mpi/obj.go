@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"fmt"
+
+	"riskbench/internal/nsp"
+)
+
+// Buf is a packing buffer, the analogue of the mpibuf object created at
+// Nsp level and handed to MPI_Recv. Its contents are a serialized nsp
+// object stream.
+type Buf struct {
+	// Data holds the packed bytes.
+	Data []byte
+}
+
+// NewBuf returns a receive buffer of the given capacity, like
+// mpibuf_create(elems).
+func NewBuf(n int) *Buf { return &Buf{Data: make([]byte, n)} }
+
+// Pack serializes an object into a packing buffer (MPI_Pack).
+func Pack(o nsp.Object) (*Buf, error) {
+	s, err := nsp.Serialize(o)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: pack: %w", err)
+	}
+	return &Buf{Data: s.Data}, nil
+}
+
+// Unpack decodes the buffer back into an object (MPI_Unpack).
+func (b *Buf) Unpack() (nsp.Object, error) {
+	o, err := nsp.SLoadBytes(b.Data).Unserialize()
+	if err != nil {
+		return nil, fmt.Errorf("mpi: unpack: %w", err)
+	}
+	return o, nil
+}
+
+// SendObj transmits any nsp object by transparent serialization, the
+// MPI_Send_Obj primitive. Sending a *nsp.Serial ships its bytes without a
+// second encoding pass, which is what makes the serialized-load strategy
+// cheap on the master.
+func SendObj(c Comm, o nsp.Object, dest, tag int) error {
+	if s, ok := o.(*nsp.Serial); ok && !s.Compressed {
+		// The serial already holds a full stream: ship it as-is.
+		return c.Send(s.Data, dest, tag)
+	}
+	s, err := nsp.Serialize(o)
+	if err != nil {
+		return fmt.Errorf("mpi: send obj: %w", err)
+	}
+	return c.Send(s.Data, dest, tag)
+}
+
+// RecvObj receives an object sent by SendObj (MPI_Recv_Obj). As in Nsp,
+// if the transmitted object is itself a Serial (compressed or not), it is
+// unsealed once so the caller gets the wrapped value directly.
+func RecvObj(c Comm, source, tag int) (nsp.Object, Status, error) {
+	data, st, err := c.Recv(source, tag)
+	if err != nil {
+		return nil, st, err
+	}
+	o, err := nsp.SLoadBytes(data).Unserialize()
+	if err != nil {
+		return nil, st, fmt.Errorf("mpi: recv obj: %w", err)
+	}
+	if s, ok := o.(*nsp.Serial); ok {
+		inner, err := s.Unserialize()
+		if err != nil {
+			return nil, st, fmt.Errorf("mpi: recv obj unseal: %w", err)
+		}
+		o = inner
+	}
+	return o, st, nil
+}

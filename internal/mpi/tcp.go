@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpMagic opens every handshake so stray connections are rejected early.
+const tcpMagic = "RBMPI1"
+
+// maxFrame bounds a frame payload (64 MiB), protecting against corrupt
+// length headers.
+const maxFrame = 64 << 20
+
+// frame layout: dest(int32) src(int32) tag(int32) len(uint32) payload.
+func writeFrame(w io.Writer, dest, src, tag int, payload []byte) error {
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(int32(dest)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(src)))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(int32(tag)))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (dest, src, tag int, payload []byte, err error) {
+	var hdr [16]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	dest = int(int32(binary.BigEndian.Uint32(hdr[0:])))
+	src = int(int32(binary.BigEndian.Uint32(hdr[4:])))
+	tag = int(int32(binary.BigEndian.Uint32(hdr[8:])))
+	n := binary.BigEndian.Uint32(hdr[12:])
+	if n > maxFrame {
+		err = fmt.Errorf("mpi: frame of %d bytes exceeds limit", n)
+		return
+	}
+	payload = make([]byte, n)
+	_, err = io.ReadFull(r, payload)
+	return
+}
+
+// conn wraps a TCP connection with a write lock and buffered writer so
+// multiple goroutines can send frames.
+type conn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, w: bufio.NewWriter(c)}
+}
+
+func (cn *conn) send(dest, src, tag int, payload []byte) error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if err := writeFrame(cn.w, dest, src, tag, payload); err != nil {
+		return err
+	}
+	return cn.w.Flush()
+}
+
+// HubComm is rank 0 of a TCP world: it listens, hands out ranks, routes
+// worker-to-worker frames and delivers dest-0 frames to its own mailbox.
+type HubComm struct {
+	size    int
+	mbox    *mailbox
+	ln      net.Listener
+	workers []*conn // index 1..size-1
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+var _ Comm = (*HubComm)(nil)
+
+// ListenHub binds the hub's listener on addr (which may use port 0) and
+// returns immediately; call WaitWorkers to accept the workers. The
+// two-phase split lets callers learn Addr before workers dial in.
+func ListenHub(addr string, size int) (*HubComm, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("mpi: hub world needs size >= 2, got %d", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: hub listen: %w", err)
+	}
+	return &HubComm{size: size, mbox: newMailbox(), ln: ln, workers: make([]*conn, size)}, nil
+}
+
+// WaitWorkers accepts exactly size-1 workers (assigning ranks 1..size-1
+// in connection order) and starts the router. It must be called once,
+// before any Send/Probe/Recv on the hub.
+func (h *HubComm) WaitWorkers() error {
+	for rank := 1; rank < h.size; rank++ {
+		c, err := h.ln.Accept()
+		if err != nil {
+			h.Close()
+			return fmt.Errorf("mpi: hub accept: %w", err)
+		}
+		if err := h.handshake(c, rank); err != nil {
+			c.Close()
+			h.Close()
+			return err
+		}
+		h.workers[rank] = newConn(c)
+	}
+	for rank := 1; rank < h.size; rank++ {
+		h.wg.Add(1)
+		go h.route(rank)
+	}
+	return nil
+}
+
+// NewHub is the one-shot form: listen on addr and block until all size-1
+// workers have joined.
+func NewHub(addr string, size int) (*HubComm, error) {
+	h, err := ListenHub(addr, size)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.WaitWorkers(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Addr returns the address the hub is listening on, useful when addr was
+// ":0".
+func (h *HubComm) Addr() string { return h.ln.Addr().String() }
+
+func (h *HubComm) handshake(c net.Conn, rank int) error {
+	magic := make([]byte, len(tcpMagic))
+	if _, err := io.ReadFull(c, magic); err != nil {
+		return fmt.Errorf("mpi: hub handshake read: %w", err)
+	}
+	if string(magic) != tcpMagic {
+		return fmt.Errorf("mpi: bad handshake magic %q", magic)
+	}
+	var reply [8]byte
+	binary.BigEndian.PutUint32(reply[0:], uint32(rank))
+	binary.BigEndian.PutUint32(reply[4:], uint32(h.size))
+	if _, err := c.Write(reply[:]); err != nil {
+		return fmt.Errorf("mpi: hub handshake write: %w", err)
+	}
+	return nil
+}
+
+// route reads frames from one worker and forwards them.
+func (h *HubComm) route(rank int) {
+	defer h.wg.Done()
+	cn := h.workers[rank]
+	r := bufio.NewReader(cn.c)
+	for {
+		dest, src, tag, payload, err := readFrame(r)
+		if err != nil {
+			// Worker gone: deliver nothing further from it. The hub keeps
+			// serving the other ranks.
+			return
+		}
+		if dest == 0 {
+			h.mbox.put(message{source: src, tag: tag, data: payload})
+			continue
+		}
+		if dest > 0 && dest < h.size {
+			if w := h.workers[dest]; w != nil {
+				_ = w.send(dest, src, tag, payload) // best effort, like the wire
+			}
+		}
+	}
+}
+
+// Rank implements Comm.
+func (h *HubComm) Rank() int { return 0 }
+
+// Size implements Comm.
+func (h *HubComm) Size() int { return h.size }
+
+// Send implements Comm.
+func (h *HubComm) Send(data []byte, dest, tag int) error {
+	if dest <= 0 || dest >= h.size {
+		return fmt.Errorf("mpi: hub send to invalid rank %d", dest)
+	}
+	return h.workers[dest].send(dest, 0, tag, data)
+}
+
+// Probe implements Comm.
+func (h *HubComm) Probe(source, tag int) (Status, error) {
+	return h.mbox.probe(source, tag)
+}
+
+// Recv implements Comm.
+func (h *HubComm) Recv(source, tag int) ([]byte, Status, error) {
+	m, err := h.mbox.recv(source, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return m.data, Status{Source: m.source, Tag: m.tag, Bytes: len(m.data)}, nil
+}
+
+// Close implements Comm: it closes the listener and every worker
+// connection, unblocking all pending operations everywhere.
+func (h *HubComm) Close() error {
+	h.once.Do(func() {
+		h.ln.Close()
+		for _, w := range h.workers {
+			if w != nil {
+				w.c.Close()
+			}
+		}
+		h.mbox.close()
+		h.wg.Wait()
+	})
+	return nil
+}
+
+// WorkerComm is a rank >= 1 endpoint connected to a hub.
+type WorkerComm struct {
+	rank int
+	size int
+	mbox *mailbox
+	cn   *conn
+	once sync.Once
+}
+
+var _ Comm = (*WorkerComm)(nil)
+
+// DialHub connects to a hub, learns this process's rank and the world
+// size from the handshake, and starts the receive loop.
+func DialHub(addr string) (*WorkerComm, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: dial hub: %w", err)
+	}
+	if _, err := c.Write([]byte(tcpMagic)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("mpi: worker handshake: %w", err)
+	}
+	var reply [8]byte
+	if _, err := io.ReadFull(c, reply[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("mpi: worker handshake read: %w", err)
+	}
+	w := &WorkerComm{
+		rank: int(binary.BigEndian.Uint32(reply[0:])),
+		size: int(binary.BigEndian.Uint32(reply[4:])),
+		mbox: newMailbox(),
+		cn:   newConn(c),
+	}
+	go w.recvLoop()
+	return w, nil
+}
+
+func (w *WorkerComm) recvLoop() {
+	r := bufio.NewReader(w.cn.c)
+	for {
+		_, src, tag, payload, err := readFrame(r)
+		if err != nil {
+			w.mbox.close()
+			return
+		}
+		w.mbox.put(message{source: src, tag: tag, data: payload})
+	}
+}
+
+// Rank implements Comm.
+func (w *WorkerComm) Rank() int { return w.rank }
+
+// Size implements Comm.
+func (w *WorkerComm) Size() int { return w.size }
+
+// Send implements Comm; frames to any destination travel via the hub.
+func (w *WorkerComm) Send(data []byte, dest, tag int) error {
+	if dest < 0 || dest >= w.size {
+		return fmt.Errorf("mpi: worker send to invalid rank %d", dest)
+	}
+	return w.cn.send(dest, w.rank, tag, data)
+}
+
+// Probe implements Comm.
+func (w *WorkerComm) Probe(source, tag int) (Status, error) {
+	return w.mbox.probe(source, tag)
+}
+
+// Recv implements Comm.
+func (w *WorkerComm) Recv(source, tag int) ([]byte, Status, error) {
+	m, err := w.mbox.recv(source, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return m.data, Status{Source: m.source, Tag: m.tag, Bytes: len(m.data)}, nil
+}
+
+// Close implements Comm.
+func (w *WorkerComm) Close() error {
+	w.once.Do(func() {
+		w.cn.c.Close()
+		w.mbox.close()
+	})
+	return nil
+}

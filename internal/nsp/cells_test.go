@@ -1,0 +1,107 @@
+package nsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIMatRoundTrip(t *testing.T) {
+	m := NewIMat(2, 3)
+	m.Data = []int64{1, -2, math.MaxInt64, math.MinInt64, 0, 42}
+	if !roundTrip(t, m).Equal(m) {
+		t.Fatal("int matrix round trip lost data")
+	}
+}
+
+func TestIMatAccessors(t *testing.T) {
+	m := NewIMat(2, 2)
+	m.Set(1, 0, -7)
+	if m.At(1, 0) != -7 || m.At(0, 0) != 0 {
+		t.Fatal("At/Set wrong")
+	}
+	if IntScalar(5).At(0, 0) != 5 {
+		t.Fatal("IntScalar wrong")
+	}
+	if m.Kind() != KindIMat || m.Kind().String() != "i" {
+		t.Fatal("kind wrong")
+	}
+}
+
+func TestIMatEqual(t *testing.T) {
+	a := NewIMat(1, 2)
+	b := NewIMat(2, 1)
+	if a.Equal(b) {
+		t.Fatal("shape conflated")
+	}
+	c := NewIMat(1, 2)
+	c.Data[1] = 9
+	if a.Equal(c) {
+		t.Fatal("values conflated")
+	}
+	if a.Equal(NewMat(1, 2)) {
+		t.Fatal("kind conflated")
+	}
+}
+
+func TestCellsRoundTrip(t *testing.T) {
+	c := NewCells(2, 2)
+	c.Set(0, 0, Str("corner"))
+	c.Set(0, 1, RowVec(1, 2))
+	c.Set(1, 1, NewList(Bool(true), IntScalar(3)))
+	// (1,0) left empty deliberately.
+	back := roundTrip(t, c).(*Cells)
+	if !back.Equal(c) {
+		t.Fatal("cells round trip lost data")
+	}
+	if back.At(1, 0) != nil {
+		t.Fatal("empty cell became non-nil")
+	}
+	if back.At(0, 0).(*SMat).StrValue() != "corner" {
+		t.Fatal("cell content wrong")
+	}
+}
+
+func TestCellsEqualEmptyPattern(t *testing.T) {
+	a := NewCells(1, 2)
+	b := NewCells(1, 2)
+	a.Set(0, 0, Scalar(1))
+	if a.Equal(b) {
+		t.Fatal("different emptiness patterns conflated")
+	}
+	b.Set(0, 0, Scalar(1))
+	if !a.Equal(b) {
+		t.Fatal("equal cells not equal")
+	}
+	if a.Kind().String() != "ce" {
+		t.Fatal("kind label wrong")
+	}
+}
+
+func TestCellsInsideHashAndList(t *testing.T) {
+	c := NewCells(1, 1)
+	c.Set(0, 0, Str("deep"))
+	h := NewHash()
+	h.Set("cells", c)
+	l := NewList(h, NewIMat(1, 1))
+	if !roundTrip(t, l).Equal(l) {
+		t.Fatal("nested cells round trip failed")
+	}
+}
+
+func TestNewIMatPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIMat(-1, 2)
+}
+
+func TestNewCellsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCells(2, -1)
+}

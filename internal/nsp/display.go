@@ -1,0 +1,111 @@
+package nsp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Display renders an object in Nsp's interactive format, the one the
+// paper's listings show:
+//
+//	B = l (3)
+//	(
+//	(1) = s (1x1)
+//	string
+//	(2) = b (1x1)
+//	| T |
+//	(3) = r (4x4)
+//	| 0.89259 0.69284 0.10172 0.85434 |
+//	...
+//	)
+func Display(name string, o Object) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s = ", name)
+	display(&b, o, "")
+	return b.String()
+}
+
+func display(b *strings.Builder, o Object, indent string) {
+	if o == nil {
+		fmt.Fprintf(b, "<nil>\n")
+		return
+	}
+	switch v := o.(type) {
+	case *Mat:
+		fmt.Fprintf(b, "r (%dx%d)\n", v.Rows, v.Cols)
+		for i := 0; i < v.Rows; i++ {
+			b.WriteString(indent + "|")
+			for j := 0; j < v.Cols; j++ {
+				fmt.Fprintf(b, " %.5g", v.At(i, j))
+			}
+			b.WriteString(" |\n")
+		}
+	case *IMat:
+		fmt.Fprintf(b, "i (%dx%d)\n", v.Rows, v.Cols)
+		for i := 0; i < v.Rows; i++ {
+			b.WriteString(indent + "|")
+			for j := 0; j < v.Cols; j++ {
+				fmt.Fprintf(b, " %d", v.At(i, j))
+			}
+			b.WriteString(" |\n")
+		}
+	case *BMat:
+		fmt.Fprintf(b, "b (%dx%d)\n", v.Rows, v.Cols)
+		for i := 0; i < v.Rows; i++ {
+			b.WriteString(indent + "|")
+			for j := 0; j < v.Cols; j++ {
+				if v.Data[i*v.Cols+j] {
+					b.WriteString(" T")
+				} else {
+					b.WriteString(" F")
+				}
+			}
+			b.WriteString(" |\n")
+		}
+	case *SMat:
+		fmt.Fprintf(b, "s (%dx%d)\n", v.Rows, v.Cols)
+		for i := 0; i < v.Rows; i++ {
+			for j := 0; j < v.Cols; j++ {
+				fmt.Fprintf(b, "%s%s\n", indent, v.Data[i*v.Cols+j])
+			}
+		}
+	case *List:
+		fmt.Fprintf(b, "l (%d)\n%s(\n", v.Len(), indent)
+		for i, item := range v.Items {
+			fmt.Fprintf(b, "%s(%d) = ", indent, i+1)
+			display(b, item, indent+"  ")
+		}
+		fmt.Fprintf(b, "%s)\n", indent)
+	case *Hash:
+		fmt.Fprintf(b, "h (%d)\n%s(\n", v.Len(), indent)
+		for _, k := range v.Keys() {
+			item, _ := v.Get(k)
+			fmt.Fprintf(b, "%s%s = ", indent, k)
+			display(b, item, indent+"  ")
+		}
+		fmt.Fprintf(b, "%s)\n", indent)
+	case *Cells:
+		fmt.Fprintf(b, "ce (%dx%d)\n%s{\n", v.Rows, v.Cols, indent)
+		for i := 0; i < v.Rows; i++ {
+			for j := 0; j < v.Cols; j++ {
+				fmt.Fprintf(b, "%s(%d,%d) = ", indent, i+1, j+1)
+				item := v.At(i, j)
+				if item == nil {
+					b.WriteString("{}\n")
+					continue
+				}
+				display(b, item, indent+"  ")
+			}
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *SpMat:
+		fmt.Fprintf(b, "sp (%dx%d, %d nnz)\n", v.Rows, v.Cols, v.NNZ())
+		for k := range v.Val {
+			fmt.Fprintf(b, "%s(%d,%d) = %.5g\n", indent, v.RowIdx[k]+1, v.ColIdx[k]+1, v.Val[k])
+		}
+	case *Serial:
+		fmt.Fprintf(b, "%s\n", v.String())
+	default:
+		fmt.Fprintf(b, "%v\n", o.Kind())
+	}
+}

@@ -1,0 +1,79 @@
+package nsp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisplayPaperListing(t *testing.T) {
+	// The paper's Fig.: A=list('string',%t,rand(4,4)); the display opens
+	// with "B = l (3)" and shows the three element headers.
+	mat := NewMat(4, 4)
+	for i := range mat.Data {
+		mat.Data[i] = float64(i) / 16
+	}
+	l := NewList(Str("string"), Bool(true), mat)
+	out := Display("B", l)
+	for _, want := range []string{
+		"B = l (3)",
+		"(1) = s (1x1)",
+		"string",
+		"(2) = b (1x1)",
+		"| T |",
+		"(3) = r (4x4)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("display missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisplayHash(t *testing.T) {
+	h := NewHash()
+	h.Set("A", RowVec(1, 2))
+	h.Set("B", Str("x"))
+	out := Display("H", h)
+	for _, want := range []string{"H = h (2)", "A = r (1x2)", "B = s (1x1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisplayIMatBMat(t *testing.T) {
+	m := NewIMat(1, 3)
+	m.Data = []int64{1, -2, 3}
+	out := Display("M", m)
+	if !strings.Contains(out, "M = i (1x3)") || !strings.Contains(out, "| 1 -2 3 |") {
+		t.Errorf("int display wrong:\n%s", out)
+	}
+	bm := NewBMat(1, 2)
+	bm.Data[1] = true
+	if out := Display("F", bm); !strings.Contains(out, "| F T |") {
+		t.Errorf("bool display wrong:\n%s", out)
+	}
+}
+
+func TestDisplayCellsAndSerial(t *testing.T) {
+	c := NewCells(1, 2)
+	c.Set(0, 0, Scalar(5))
+	out := Display("C", c)
+	for _, want := range []string{"C = ce (1x2)", "(1,1) = r (1x1)", "(1,2) = {}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	s, err := Serialize(Scalar(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Display("S", s); !strings.Contains(out, "serial") {
+		t.Errorf("serial display wrong:\n%s", out)
+	}
+}
+
+func TestDisplayNil(t *testing.T) {
+	if out := Display("X", nil); !strings.Contains(out, "<nil>") {
+		t.Errorf("nil display wrong: %q", out)
+	}
+}

@@ -1,0 +1,13 @@
+// Package nsp reimplements the slice of the Nsp scientific-software object
+// system that the Premia/Nsp/MPI benchmark relies on: a small set of typed
+// values (real matrices, boolean matrices, string matrices, heterogeneous
+// lists, hash tables and opaque serial buffers), a binary serialization
+// format shared between in-memory serials and on-disk save files, optional
+// flate compression of serials, and an XDR-style architecture-independent
+// codec used to persist pricing problems.
+//
+// The crucial property reproduced from Nsp is that the on-disk save format
+// IS the serialization format: SLoad can therefore turn a saved file into a
+// transmissible Serial object without ever reconstructing the value — the
+// "serialized load" communication strategy of the paper (its Fig. 2).
+package nsp

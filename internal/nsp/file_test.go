@@ -1,0 +1,117 @@
+package nsp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	// Paper Fig. 2: H.A = rand(4,5); H.B = rand(4,1); save; sload; equal.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "saved.bin")
+	h := NewHash()
+	a := NewMat(4, 5)
+	b := NewMat(4, 1)
+	for i := range a.Data {
+		a.Data[i] = float64(i) / 7
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i) * 3
+	}
+	h.Set("A", a)
+	h.Set("B", b)
+	if err := Save(path, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(h) {
+		t.Fatal("Load did not restore the saved hash")
+	}
+}
+
+func TestSLoadEqualsSerialize(t *testing.T) {
+	// The essential sload property: bytes on disk == serialize(obj).Data,
+	// so sload(file).Unserialize() == obj with zero construction cost on
+	// the sender.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj.bin")
+	l := NewList(Str("problem"), Scalar(3.14), Bool(false))
+	if err := Save(path, l); err != nil {
+		t.Fatal(err)
+	}
+	s, err := SLoad(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Serialize(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(direct) {
+		t.Fatal("sload bytes differ from direct serialization")
+	}
+	back, err := s.Unserialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(l) {
+		t.Fatal("sload->unserialize lost the object")
+	}
+}
+
+func TestSLoadBytes(t *testing.T) {
+	l := NewList(Scalar(1))
+	s, err := Serialize(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := SLoadBytes(s.Data)
+	back, err := s2.Unserialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(l) {
+		t.Fatal("SLoadBytes round trip failed")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+	if _, err := SLoad(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("SLoad of missing file succeeded")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, []byte("not an nsp file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load of corrupt file succeeded")
+	}
+}
+
+func TestFileSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := Save(path, Scalar(1)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := FileSize(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Serialize(Scalar(1))
+	if n != int64(s.Len()) {
+		t.Fatalf("FileSize = %d, want %d", n, s.Len())
+	}
+	if _, err := FileSize(path + ".missing"); err == nil {
+		t.Fatal("FileSize of missing file succeeded")
+	}
+}

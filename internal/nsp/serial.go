@@ -1,0 +1,107 @@
+package nsp
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Serial is an opaque buffer holding the serialized form of an object,
+// optionally flate-compressed — Nsp's `serial` class. A Serial is itself an
+// Object, so serials can be nested inside lists/hashes and shipped over the
+// message-passing layer like any other value.
+type Serial struct {
+	// Compressed reports whether Data holds a flate stream.
+	Compressed bool
+	// Data is the (possibly compressed) serialized byte stream.
+	Data []byte
+}
+
+// Kind implements Object.
+func (s *Serial) Kind() Kind { return KindSerial }
+
+// Len returns the byte length of the buffer.
+func (s *Serial) Len() int { return len(s.Data) }
+
+// String mimics Nsp's "<302-bytes> serial" display.
+func (s *Serial) String() string {
+	if s.Compressed {
+		return fmt.Sprintf("<%d-bytes> serial (compressed)", len(s.Data))
+	}
+	return fmt.Sprintf("<%d-bytes> serial", len(s.Data))
+}
+
+// Equal implements Object.
+func (s *Serial) Equal(o Object) bool {
+	t, ok := o.(*Serial)
+	if !ok || s.Compressed != t.Compressed || len(s.Data) != len(t.Data) {
+		return false
+	}
+	return bytes.Equal(s.Data, t.Data)
+}
+
+// Serialize converts any object into a Serial buffer using the binary
+// format shared with Save. It is Nsp's `serialize` primitive.
+func Serialize(o Object) (*Serial, error) {
+	var buf bytes.Buffer
+	if err := encodeStream(&buf, o); err != nil {
+		return nil, err
+	}
+	return &Serial{Data: buf.Bytes()}, nil
+}
+
+// Unserialize decodes the buffer back into an object, transparently
+// handling compressed serials as Nsp's `unserialize` method does.
+func (s *Serial) Unserialize() (Object, error) {
+	data := s.Data
+	if s.Compressed {
+		r := flate.NewReader(bytes.NewReader(s.Data))
+		raw, err := io.ReadAll(r)
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nsp: decompress serial: %w", err)
+		}
+		data = raw
+	}
+	return decodeStream(bytes.NewReader(data))
+}
+
+// Compress returns a compressed copy of the serial (no-op if already
+// compressed), mirroring the `compress` method added to Nsp.
+func (s *Serial) Compress() (*Serial, error) {
+	if s.Compressed {
+		return s, nil
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(s.Data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Serial{Compressed: true, Data: buf.Bytes()}, nil
+}
+
+// Uncompress returns an uncompressed copy of the serial (no-op if already
+// raw).
+func (s *Serial) Uncompress() (*Serial, error) {
+	if !s.Compressed {
+		return s, nil
+	}
+	r := flate.NewReader(bytes.NewReader(s.Data))
+	raw, err := io.ReadAll(r)
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("nsp: decompress serial: %w", err)
+	}
+	return &Serial{Data: raw}, nil
+}

@@ -1,0 +1,120 @@
+package nsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSparsePaperExample(t *testing.T) {
+	// Paper: A=sparse(rand(2,2)); S=serialize(A); MPI_Send_Obj(S,...);
+	// B=MPI_Recv_Obj; B.equal[A] → T.
+	dense := NewMat(2, 2)
+	r := rand.New(rand.NewSource(1))
+	for i := range dense.Data {
+		dense.Data[i] = r.Float64()
+	}
+	a := SparseFromDense(dense)
+	s, err := Serialize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Unserialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(a) {
+		t.Fatal("B.equal[A] is false")
+	}
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	m := NewMat(4, 5)
+	m.Set(0, 0, 1.5)
+	m.Set(3, 4, -2)
+	m.Set(1, 2, 7)
+	s := SparseFromDense(m)
+	if s.NNZ() != 3 {
+		t.Fatalf("nnz %d, want 3", s.NNZ())
+	}
+	back := s.Dense()
+	if !back.Equal(m) {
+		t.Fatal("dense round trip lost data")
+	}
+	if s.At(3, 4) != -2 || s.At(2, 2) != 0 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestSparseSetInsertsSorted(t *testing.T) {
+	s := NewSpMat(3, 3)
+	s.Set(2, 2, 9)
+	s.Set(0, 1, 1)
+	s.Set(1, 0, 5)
+	s.Set(0, 0, 3)
+	// Row-major sorted triplets.
+	wantR := []int32{0, 0, 1, 2}
+	wantC := []int32{0, 1, 0, 2}
+	for k := range wantR {
+		if s.RowIdx[k] != wantR[k] || s.ColIdx[k] != wantC[k] {
+			t.Fatalf("triplets unsorted: %v %v", s.RowIdx, s.ColIdx)
+		}
+	}
+	// Overwrite keeps a single entry.
+	s.Set(1, 0, 6)
+	if s.NNZ() != 4 || s.At(1, 0) != 6 {
+		t.Fatal("overwrite failed")
+	}
+	// Canonical form equals the dense-derived one.
+	if !s.Equal(SparseFromDense(s.Dense())) {
+		t.Fatal("triplet order not canonical")
+	}
+}
+
+func TestSparseCompact(t *testing.T) {
+	s := NewSpMat(2, 2)
+	s.Set(0, 0, 1)
+	s.Set(1, 1, 0) // explicit zero
+	if s.NNZ() != 2 {
+		t.Fatal("explicit zero not stored")
+	}
+	s.Compact()
+	if s.NNZ() != 1 || s.At(0, 0) != 1 {
+		t.Fatal("compact wrong")
+	}
+}
+
+func TestSparseCodecRejectsBadIndices(t *testing.T) {
+	s := NewSpMat(2, 2)
+	s.Set(1, 1, 3)
+	ser, err := Serialize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the row index to 7 (outside 2x2). Header: magic(4) +
+	// version(2) + kind(1) + dims(8) + nnz(4), then row idx.
+	ser.Data[4+2+1+8+4+3] = 7
+	if _, err := ser.Unserialize(); err == nil {
+		t.Fatal("out-of-range sparse index accepted")
+	}
+}
+
+func TestSparseInContainers(t *testing.T) {
+	s := NewSpMat(1, 3)
+	s.Set(0, 1, 4)
+	l := NewList(s, Str("sparse inside"))
+	if !roundTrip(t, l).Equal(l) {
+		t.Fatal("sparse-in-list round trip failed")
+	}
+	if s.Kind() != KindSpMat {
+		t.Fatal("kind wrong")
+	}
+}
+
+func TestSparseSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpMat(2, 2).Set(2, 0, 1)
+}

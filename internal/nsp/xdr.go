@@ -1,0 +1,164 @@
+package nsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// XDREncoder writes values in the eXternal Data Representation style used
+// by the PremiaModel save/load methods: big-endian, every item padded to a
+// multiple of four bytes, so files are architecture independent.
+type XDREncoder struct {
+	w   io.Writer
+	err error
+}
+
+// NewXDREncoder returns an encoder writing to w.
+func NewXDREncoder(w io.Writer) *XDREncoder { return &XDREncoder{w: w} }
+
+// Err returns the first error encountered, if any.
+func (e *XDREncoder) Err() error { return e.err }
+
+func (e *XDREncoder) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+// PutUint32 writes a 32-bit unsigned integer.
+func (e *XDREncoder) PutUint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.write(b[:])
+}
+
+// PutInt writes a signed integer as a 32-bit two's-complement value. It
+// records an error if v does not fit.
+func (e *XDREncoder) PutInt(v int) {
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		if e.err == nil {
+			e.err = fmt.Errorf("nsp: xdr int overflow: %d", v)
+		}
+		return
+	}
+	e.PutUint32(uint32(int32(v)))
+}
+
+// PutBool writes a boolean as the XDR canonical 0/1 word.
+func (e *XDREncoder) PutBool(v bool) {
+	if v {
+		e.PutUint32(1)
+	} else {
+		e.PutUint32(0)
+	}
+}
+
+// PutFloat64 writes an IEEE-754 double (XDR "double", 8 bytes, already a
+// multiple of 4).
+func (e *XDREncoder) PutFloat64(v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	e.write(b[:])
+}
+
+// PutString writes a length-prefixed string padded with zero bytes to a
+// four-byte boundary, per the XDR spec.
+func (e *XDREncoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	e.write([]byte(s))
+	if pad := (4 - len(s)%4) % 4; pad > 0 {
+		e.write(make([]byte, pad))
+	}
+}
+
+// PutFloat64s writes a counted array of doubles.
+func (e *XDREncoder) PutFloat64s(vs []float64) {
+	e.PutUint32(uint32(len(vs)))
+	for _, v := range vs {
+		e.PutFloat64(v)
+	}
+}
+
+// XDRDecoder reads values written by XDREncoder.
+type XDRDecoder struct {
+	r   io.Reader
+	err error
+}
+
+// NewXDRDecoder returns a decoder reading from r.
+func NewXDRDecoder(r io.Reader) *XDRDecoder { return &XDRDecoder{r: r} }
+
+// Err returns the first error encountered, if any.
+func (d *XDRDecoder) Err() error { return d.err }
+
+func (d *XDRDecoder) read(b []byte) bool {
+	if d.err != nil {
+		return false
+	}
+	_, d.err = io.ReadFull(d.r, b)
+	return d.err == nil
+}
+
+// Uint32 reads a 32-bit unsigned integer (0 on error).
+func (d *XDRDecoder) Uint32() uint32 {
+	var b [4]byte
+	if !d.read(b[:]) {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// Int reads a signed 32-bit integer (0 on error).
+func (d *XDRDecoder) Int() int { return int(int32(d.Uint32())) }
+
+// Bool reads a boolean (false on error).
+func (d *XDRDecoder) Bool() bool { return d.Uint32() != 0 }
+
+// Float64 reads a double (0 on error).
+func (d *XDRDecoder) Float64() float64 {
+	var b [8]byte
+	if !d.read(b[:]) {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b[:]))
+}
+
+// String reads a padded, length-prefixed string ("" on error).
+func (d *XDRDecoder) String() string {
+	n := d.Uint32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxDim {
+		d.err = badStream("xdr string too large: %d", n)
+		return ""
+	}
+	b := make([]byte, int(n)+(4-int(n)%4)%4)
+	if !d.read(b) {
+		return ""
+	}
+	return string(b[:n])
+}
+
+// Float64s reads a counted array of doubles (nil on error).
+func (d *XDRDecoder) Float64s() []float64 {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxDim {
+		d.err = badStream("xdr array too large: %d", n)
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = d.Float64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return vs
+}

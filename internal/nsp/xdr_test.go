@@ -1,0 +1,142 @@
+package nsp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestXDRRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewXDREncoder(&buf)
+	e.PutInt(-42)
+	e.PutUint32(7)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutFloat64(3.14159)
+	e.PutString("hello")
+	e.PutString("")
+	e.PutString("abcd") // exactly one word, no padding
+	e.PutFloat64s([]float64{1, 2, 3})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewXDRDecoder(&buf)
+	if v := d.Int(); v != -42 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := d.Uint32(); v != 7 {
+		t.Errorf("Uint32 = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool mismatch")
+	}
+	if v := d.Float64(); v != 3.14159 {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.String(); v != "" {
+		t.Errorf("empty String = %q", v)
+	}
+	if v := d.String(); v != "abcd" {
+		t.Errorf("String = %q", v)
+	}
+	vs := d.Float64s()
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Errorf("Float64s = %v", vs)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXDRPadding(t *testing.T) {
+	// Every encoded size must be a multiple of 4 bytes (XDR invariant).
+	for _, s := range []string{"", "a", "ab", "abc", "abcd", "abcde"} {
+		var buf bytes.Buffer
+		e := NewXDREncoder(&buf)
+		e.PutString(s)
+		if err := e.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len()%4 != 0 {
+			t.Errorf("string %q encoded to %d bytes (not word-aligned)", s, buf.Len())
+		}
+	}
+}
+
+func TestXDRPropertyRoundTrip(t *testing.T) {
+	f := func(i int32, v float64, s string, vs []float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		for _, x := range vs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		var buf bytes.Buffer
+		e := NewXDREncoder(&buf)
+		e.PutInt(int(i))
+		e.PutFloat64(v)
+		e.PutString(s)
+		e.PutFloat64s(vs)
+		if e.Err() != nil {
+			return false
+		}
+		d := NewXDRDecoder(&buf)
+		gi := d.Int()
+		gv := d.Float64()
+		gs := d.String()
+		gvs := d.Float64s()
+		if d.Err() != nil {
+			return false
+		}
+		if gi != int(i) || gv != v || gs != s || len(gvs) != len(vs) {
+			return false
+		}
+		for j := range vs {
+			if gvs[j] != vs[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXDRDecoderShortInput(t *testing.T) {
+	d := NewXDRDecoder(bytes.NewReader([]byte{0, 0}))
+	if d.Uint32() != 0 || d.Err() == nil {
+		t.Fatal("short read not detected")
+	}
+	// After an error every further read returns zero values.
+	if d.Int() != 0 || d.Float64() != 0 || d.String() != "" || d.Float64s() != nil {
+		t.Fatal("post-error reads not zeroed")
+	}
+}
+
+func TestXDRStringTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewXDREncoder(&buf)
+	e.PutUint32(0xffffffff)
+	d := NewXDRDecoder(&buf)
+	if d.String() != "" || d.Err() == nil {
+		t.Fatal("oversized string length not rejected")
+	}
+}
+
+func TestXDRIntOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewXDREncoder(&buf)
+	e.PutInt(math.MaxInt64)
+	if e.Err() == nil {
+		t.Fatal("int overflow not detected")
+	}
+}

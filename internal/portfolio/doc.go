@@ -1,0 +1,25 @@
+// Package portfolio generates the three workloads of the paper's
+// evaluation:
+//
+//   - Regression (§4.1): one instance of every pricing problem the library
+//     can solve, at several parameter sets — Premia's non-regression test
+//     suite, with a heterogeneous cost spectrum topped by ~30 s American
+//     Monte Carlo runs (the flat makespan floor in Table I).
+//   - Toy (§4.2): 10,000 plain-vanilla calls priced by closed formula,
+//     each almost free to compute, built to expose the cost of the
+//     communication strategies.
+//   - Realistic (§4.3): the 7931-claim bank portfolio the paper assembles:
+//     1952 vanilla calls, 1952 down-and-out barrier calls (PDE), 525
+//     40-dimensional basket puts (Monte Carlo), 1025 local-volatility
+//     calls (Monte Carlo), 1952 American puts (PDE) and 525
+//     7-dimensional American basket puts (Longstaff–Schwartz), with the
+//     strike/maturity grids of the paper.
+//
+// Every item carries both a real premia problem (so live farms can price
+// it) and a virtual cost in seconds (so the simulated cluster can replay
+// it at 512 CPUs). Virtual costs follow the paper's stated cost spectrum —
+// vanillas effectively free, European MC/PDE in the middle, American
+// products the most expensive — calibrated so the
+// realistic portfolio's total work matches Table III's 2-CPU run and the
+// regression suite matches Table I.
+package portfolio

@@ -1,0 +1,70 @@
+package portfolio
+
+import (
+	"riskbench/internal/mathutil"
+	"riskbench/internal/premia"
+)
+
+// Mixed generates a multi-asset-class book — equity derivatives plus
+// interest-rate and credit products — an extension beyond the paper's
+// equity-only §4.3 portfolio, reflecting its remark that Premia "is able
+// to price derivatives on many different kinds of underlying assets such
+// as interest rates, commodities, credits". The book holds roughly n
+// claims split 60% equity / 25% rates / 15% credit.
+func Mixed(n int) *Portfolio {
+	rng := mathutil.NewRNG(2026)
+	pf := &Portfolio{Name: "mixed"}
+	nEquity := n * 60 / 100
+	nRates := n * 25 / 100
+	nCredit := n - nEquity - nRates
+
+	for i := 0; i < nEquity; i++ {
+		k := spot * (0.8 + 0.01*float64(i%41))
+		t := 0.25 + 0.25*float64(i%12)
+		var p *premia.Problem
+		switch i % 3 {
+		case 0:
+			p = premia.New().
+				SetModel(premia.ModelBS1D).SetOption(premia.OptCallEuro).SetMethod(premia.MethodCFCall).
+				Set("S0", spot).Set("r", 0.04).Set("divid", 0.01).Set("sigma", 0.22).
+				Set("K", k).Set("T", t)
+		case 1:
+			p = premia.New().
+				SetModel(premia.ModelBS1D).SetOption(premia.OptPutEuro).SetMethod(premia.MethodCFPut).
+				Set("S0", spot).Set("r", 0.04).Set("divid", 0.01).Set("sigma", 0.22).
+				Set("K", k).Set("T", t)
+		default:
+			p = premia.New().
+				SetModel(premia.ModelBS1D).SetOption(premia.OptDigitalCall).SetMethod(premia.MethodCFDigital).
+				Set("S0", spot).Set("r", 0.04).Set("divid", 0.01).Set("sigma", 0.22).
+				Set("K", k).Set("T", t)
+		}
+		pf.add("eq", p, 0.0008*jitter(rng, 0.2))
+	}
+	for i := 0; i < nRates; i++ {
+		t := 1 + float64(i%9)
+		p := premia.New().SetAsset(premia.AssetRate).
+			SetModel(premia.ModelVasicek).SetMethod(premia.MethodCFVasicek).
+			Set("r0", 0.03).Set("a", 0.5).Set("b", 0.05).Set("sigmaR", 0.012).
+			Set("T", t)
+		if i%2 == 0 {
+			p.SetOption(premia.OptZCBond)
+		} else {
+			p.SetOption(premia.OptZCCall).Set("S", t+2).Set("K", 0.85)
+		}
+		pf.add("rate", p, 0.0008*jitter(rng, 0.2))
+	}
+	for i := 0; i < nCredit; i++ {
+		p := premia.New().SetAsset(premia.AssetCredit).
+			SetModel(premia.ModelConstHazard).SetMethod(premia.MethodCFCredit).
+			Set("lambda", 0.01+0.005*float64(i%6)).Set("recovery", 0.4).
+			Set("r", 0.03).Set("T", 1+float64(i%7))
+		if i%2 == 0 {
+			p.SetOption(premia.OptDefaultableBond)
+		} else {
+			p.SetOption(premia.OptCDS)
+		}
+		pf.add("credit", p, 0.0008*jitter(rng, 0.2))
+	}
+	return pf
+}

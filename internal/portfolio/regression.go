@@ -1,0 +1,171 @@
+package portfolio
+
+import (
+	"riskbench/internal/mathutil"
+	"riskbench/internal/premia"
+)
+
+// Virtual base costs (seconds) per method class for the regression suite,
+// calibrated so the suite's total work lands near the paper's Table I
+// 2-CPU run (838 s) with the longest single test around 30 s — the floor
+// that Table I's makespan flattens onto above ~96 CPUs.
+var regressionCosts = map[string]float64{
+	premia.MethodCFCall:        0.004,
+	premia.MethodCFPut:         0.004,
+	premia.MethodCFCallDownOut: 0.006,
+	premia.MethodCFCallUpOut:   0.006,
+	premia.MethodCFHeston:      0.05,
+	premia.MethodTreeCRR:       0.3,
+	premia.MethodFDCrank:       1.0,
+	premia.MethodFDBS:          1.0,
+	premia.MethodFDPSOR:        2.0,
+	premia.MethodMCEuro:        4.0,
+	premia.MethodMCHeston:      8.0,
+	premia.MethodMCBasket:      12.0,
+	premia.MethodMCLocalVol:    6.0,
+	premia.MethodMCAmerLSM:     18.0,
+	premia.MethodMCAmerAlfonsi: 30.0,
+	premia.MethodCFMerton:      0.01,
+	premia.MethodMCMerton:      3.0,
+	premia.MethodCFDigital:     0.004,
+	premia.MethodMCAsianCV:     5.0,
+	premia.MethodCFLookback:    0.004,
+	premia.MethodMCLookback:    5.0,
+	premia.MethodQMCBasket:     10.0,
+	premia.MethodCFVasicek:     0.004,
+	premia.MethodMCVasicek:     5.0,
+	premia.MethodCFCredit:      0.004,
+	premia.MethodMCCredit:      2.0,
+}
+
+// regressionVariants is the number of parameter sets per registered
+// (method, model, option) combination.
+const regressionVariants = 6
+
+// Regression generates the §4.1 workload: Premia's non-regression tests —
+// one problem per registered (method, model, option) combination, at
+// several strike/maturity variants. Every problem is valid and computable
+// by the live executor (with modest numerical parameters).
+func Regression() *Portfolio {
+	rng := mathutil.NewRNG(41)
+	pf := &Portfolio{Name: "regression"}
+	for _, method := range premia.Methods() {
+		models, options := premia.Compatibles(method)
+		for _, model := range models {
+			for _, option := range options {
+				if !premia.MethodSupports(method, model, option) {
+					continue
+				}
+				for v := 0; v < regressionVariants; v++ {
+					p := regressionProblem(method, model, option, v)
+					cost := regressionCosts[method] * jitter(rng, 0.3)
+					pf.add("regr", p, cost)
+				}
+			}
+		}
+	}
+	return pf
+}
+
+// regressionProblem builds one fully-parameterised, computable problem
+// for the given triple and variant index. Numerical parameters are kept
+// small so the whole suite also runs live in seconds.
+func regressionProblem(method, model, option string, v int) *premia.Problem {
+	switch premia.MethodAsset(method) {
+	case premia.AssetRate:
+		return rateRegressionProblem(method, model, option, v)
+	case premia.AssetCredit:
+		return creditRegressionProblem(method, model, option, v)
+	}
+	k := 85 + 10*float64(v%4)   // strikes 85..115
+	t := 0.5 + 0.5*float64(v%3) // maturities 0.5..1.5
+	p := premia.New().SetModel(model).SetOption(option).SetMethod(method).
+		Set("K", k).Set("T", t).Set("S0", spot).Set("r", 0.04).Set("divid", 0.015)
+	switch model {
+	case premia.ModelBS1D:
+		p.Set("sigma", 0.2+0.05*float64(v%2))
+	case premia.ModelBSND:
+		dim := 2 + 5*(v%2) // alternate 2- and 7-dimensional baskets
+		p.Set("sigma", 0.22).Set("dim", float64(dim)).Set("rho", 0.3)
+	case premia.ModelLocVol:
+		p.Set("sigma0", 0.22).Set("skew", -0.1).Set("termslope", 0.02)
+	case premia.ModelHeston:
+		p.Set("V0", 0.04).Set("kappa", 2).Set("theta", 0.05).
+			Set("sigmaV", 0.4).Set("rhoSV", -0.6)
+	case premia.ModelMerton:
+		p.Set("sigma", 0.2).Set("lambda", 0.5+0.5*float64(v%2)).
+			Set("muJ", -0.1).Set("sigmaJ", 0.2)
+	}
+	switch method {
+	case premia.MethodCFCallDownOut:
+		p.Set("L", 0.8*spot)
+	case premia.MethodCFCallUpOut:
+		p.Set("U", 1.4*spot)
+	case premia.MethodFDCrank:
+		if option == premia.OptCallDownOut {
+			p.Set("L", 0.8*spot)
+		}
+		if option == premia.OptCallUpOut {
+			p.Set("U", 1.4*spot)
+		}
+		p.Set("nodes", 200).Set("steps", 100)
+	case premia.MethodFDBS, premia.MethodFDPSOR:
+		p.Set("nodes", 200).Set("steps", 100)
+	case premia.MethodTreeCRR:
+		p.Set("steps", 400)
+	case premia.MethodMCEuro:
+		if option == premia.OptCallDownOut {
+			p.Set("L", 0.8*spot)
+		}
+		if option == premia.OptCallUpOut {
+			p.Set("U", 1.4*spot)
+		}
+		p.Set("paths", 20000).Set("mcsteps", 32)
+	case premia.MethodMCHeston, premia.MethodMCLocalVol:
+		p.Set("paths", 10000).Set("mcsteps", 32)
+	case premia.MethodMCBasket:
+		p.Set("paths", 20000)
+	case premia.MethodMCAmerLSM, premia.MethodMCAmerAlfonsi:
+		p.Set("paths", 4000).Set("exdates", 20)
+	case premia.MethodMCMerton:
+		p.Set("paths", 20000)
+	case premia.MethodMCAsianCV:
+		p.Set("paths", 10000).Set("fixings", 12)
+	case premia.MethodMCLookback:
+		p.Set("paths", 10000).Set("mcsteps", 32)
+	case premia.MethodQMCBasket:
+		p.Set("paths", 8192)
+	}
+	return p
+}
+
+// creditRegressionProblem parameterises the credit products.
+func creditRegressionProblem(method, model, option string, v int) *premia.Problem {
+	p := premia.New().SetAsset(premia.AssetCredit).
+		SetModel(model).SetOption(option).SetMethod(method).
+		Set("lambda", 0.01+0.02*float64(v%3)).Set("recovery", 0.4).
+		Set("r", 0.03).Set("T", 1+2*float64(v%3))
+	if method == premia.MethodMCCredit {
+		p.Set("paths", 20000)
+	}
+	return p
+}
+
+// rateRegressionProblem parameterises the interest-rate products.
+func rateRegressionProblem(method, model, option string, v int) *premia.Problem {
+	p := premia.New().SetAsset(premia.AssetRate).
+		SetModel(model).SetOption(option).SetMethod(method).
+		Set("r0", 0.02+0.01*float64(v%3)).Set("a", 0.5).Set("b", 0.05).
+		Set("sigmaR", 0.01+0.005*float64(v%2)).
+		Set("T", 1+float64(v%3))
+	if option == premia.OptZCCall {
+		t := p.Params["T"]
+		p.Set("S", t+2) // bond matures two years after option expiry
+		// Strike near the forward bond price keeps the option meaningful.
+		p.Set("K", 0.85)
+	}
+	if method == premia.MethodMCVasicek {
+		p.Set("paths", 10000).Set("mcsteps", 50)
+	}
+	return p
+}

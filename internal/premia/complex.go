@@ -1,0 +1,10 @@
+package premia
+
+import "math/cmplx"
+
+// Thin aliases over math/cmplx so the pricing formulas read like the
+// mathematical notation in the references.
+
+func cmplxExp(z complex128) complex128  { return cmplx.Exp(z) }
+func cmplxLog(z complex128) complex128  { return cmplx.Log(z) }
+func cmplxSqrt(z complex128) complex128 { return cmplx.Sqrt(z) }

@@ -1,0 +1,91 @@
+package premia
+
+import (
+	"math"
+	"testing"
+)
+
+func creditProblem(option, method string) *Problem {
+	return New().SetAsset(AssetCredit).
+		SetModel(ModelConstHazard).SetOption(option).SetMethod(method).
+		Set("lambda", 0.02).Set("recovery", 0.4).Set("r", 0.03).Set("T", 5)
+}
+
+func TestDefaultableBondBasics(t *testing.T) {
+	res, err := creditProblem(OptDefaultableBond, MethodCFCredit).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	riskFree := math.Exp(-0.03 * 5)
+	if res.Price <= 0 || res.Price >= riskFree {
+		t.Fatalf("defaultable bond %v outside (0, %v)", res.Price, riskFree)
+	}
+	// Riskier issuer: cheaper bond.
+	risky, err := creditProblem(OptDefaultableBond, MethodCFCredit).Set("lambda", 0.2).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risky.Price >= res.Price {
+		t.Fatalf("λ=0.2 bond %v not below λ=0.02 bond %v", risky.Price, res.Price)
+	}
+	// Zero hazard limit → risk-free bond.
+	safe, err := creditProblem(OptDefaultableBond, MethodCFCredit).Set("lambda", 1e-12).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(safe.Price-riskFree) > 1e-9 {
+		t.Fatalf("λ→0 bond %v, want %v", safe.Price, riskFree)
+	}
+}
+
+func TestCDSParSpread(t *testing.T) {
+	res, err := creditProblem(OptCDS, MethodCFCredit).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classic credit-triangle approximation: spread ≈ (1−R)·λ = 120bp.
+	approx := 0.6 * 0.02
+	if math.Abs(res.Price-approx) > 0.1*approx {
+		t.Fatalf("CDS spread %v far from credit triangle %v", res.Price, approx)
+	}
+	// Spread increases with hazard and decreases with recovery.
+	hi, _ := creditProblem(OptCDS, MethodCFCredit).Set("lambda", 0.05).Compute()
+	if hi.Price <= res.Price {
+		t.Error("spread not increasing in hazard")
+	}
+	rec, _ := creditProblem(OptCDS, MethodCFCredit).Set("recovery", 0.8).Compute()
+	if rec.Price >= res.Price {
+		t.Error("spread not decreasing in recovery")
+	}
+}
+
+func TestCreditMCMatchesCF(t *testing.T) {
+	for _, option := range []string{OptDefaultableBond, OptCDS} {
+		cf, err := creditProblem(option, MethodCFCredit).Compute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := creditProblem(option, MethodMCCredit).Set("paths", 200000).Compute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 3*mc.PriceCI + 1e-4*cf.Price
+		if diff := math.Abs(cf.Price - mc.Price); diff > tol {
+			t.Errorf("%s: CF %v vs MC %v ± %v", option, cf.Price, mc.Price, mc.PriceCI)
+		}
+	}
+}
+
+func TestCreditValidation(t *testing.T) {
+	if _, err := creditProblem(OptCDS, MethodCFCredit).Set("recovery", 1.5).Compute(); err == nil {
+		t.Error("recovery > 1 accepted")
+	}
+	if _, err := creditProblem(OptCDS, MethodCFCredit).Set("lambda", -1).Compute(); err == nil {
+		t.Error("negative hazard accepted")
+	}
+	wrongAsset := New().SetModel(ModelConstHazard).SetOption(OptCDS).SetMethod(MethodCFCredit).
+		Set("lambda", 0.02).Set("T", 5)
+	if err := wrongAsset.Validate(); err == nil {
+		t.Error("equity-asset credit problem accepted")
+	}
+}

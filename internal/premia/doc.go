@@ -1,0 +1,34 @@
+// Package premia is a from-scratch Go reimplementation of the slice of the
+// Premia financial library exercised by the Premia/Nsp/MPI benchmark: the
+// pricing and hedging of equity derivatives under several models with
+// several numerical methods.
+//
+// A pricing problem is the triple (model, option, method) plus a flat
+// parameter set, exactly as in Premia where one writes
+//
+//	P = premia_create()
+//	P.set_model[str="BlackScholes1dim"]
+//	P.set_option[str="CallEuro"]
+//	P.set_method[str="CF_Call"]
+//	P.compute[]
+//
+// Models: one-dimensional Black–Scholes, multi-dimensional Black–Scholes
+// with single-factor correlation, a parametric local-volatility model and
+// the Heston stochastic-volatility model.
+//
+// Options: European calls and puts, down-and-out barrier calls, American
+// puts, European basket puts and American basket puts.
+//
+// Methods: closed formulas (Black–Scholes, Reiner–Rubinstein barrier,
+// semi-analytic Heston by Fourier inversion), Cox–Ross–Rubinstein trees,
+// Crank–Nicolson finite differences (with Brennan–Schwartz and PSOR
+// treatments of the American obstacle), Monte Carlo (exact Black–Scholes
+// sampling, Euler for local volatility, Alfonsi's drift-implicit
+// square-root scheme for Heston) and Longstaff–Schwartz American Monte
+// Carlo.
+//
+// Problems serialize to the nsp object model and to an XDR byte format, so
+// they can be saved to architecture-independent files, reloaded, and
+// shipped to remote workers by the farm package using any of the paper's
+// three communication strategies.
+package premia

@@ -1,0 +1,126 @@
+package premia
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"riskbench/internal/mathutil"
+)
+
+func TestImpliedVolRoundTrip(t *testing.T) {
+	m := bsParams{S0: 100, R: 0.05, Div: 0.01, Sigma: 0}
+	for _, sigma := range []float64{0.05, 0.15, 0.3, 0.6, 1.2} {
+		for _, k := range []float64{70.0, 100, 140} {
+			for _, call := range []bool{true, false} {
+				mm := m
+				mm.Sigma = sigma
+				var price float64
+				if call {
+					price, _ = bsCallPrice(mm, k, 1)
+				} else {
+					price, _ = bsPutPrice(mm, k, 1)
+				}
+				got, err := ImpliedVol(price, m, k, 1, call)
+				if err != nil {
+					t.Fatalf("σ=%v K=%v call=%v: %v", sigma, k, call, err)
+				}
+				// The achievable vol accuracy is the price tolerance
+				// divided by vega: deep in/out-of-the-money low-vol quotes
+				// are inherently ill-conditioned.
+				d1, _ := bsD1D2(mm, k, 1)
+				vega := 100 * math.Exp(-0.01) * mathutil.NormPDF(d1)
+				tol := 1e-8 + 1e-10/math.Max(vega, 1e-10)
+				if math.Abs(got-sigma) > tol {
+					t.Errorf("σ=%v K=%v call=%v: recovered %v (tol %v)", sigma, k, call, got, tol)
+				}
+			}
+		}
+	}
+}
+
+func TestImpliedVolPropertyRoundTrip(t *testing.T) {
+	f := func(sSeed, kSeed, tSeed uint16) bool {
+		sigma := 0.02 + float64(sSeed%300)/100 // 0.02..3.01
+		k := 40 + float64(kSeed%1600)/10       // 40..200
+		tt := 0.05 + float64(tSeed%100)/20     // 0.05..5
+		m := bsParams{S0: 100, R: 0.03, Div: 0.01, Sigma: sigma}
+		price, _ := bsCallPrice(m, k, tt)
+		lower := math.Max(100*math.Exp(-0.01*tt)-k*math.Exp(-0.03*tt), 0)
+		if price < 1e-10 || price-lower < 1e-6 {
+			return true // at an arbitrage bound the inversion is ill-posed
+		}
+		got, err := ImpliedVol(price, bsParams{S0: 100, R: 0.03, Div: 0.01}, k, tt, true)
+		if err != nil {
+			return false
+		}
+		// Near-zero vega regions tolerate more.
+		return math.Abs(got-sigma) < 1e-6*math.Max(1, sigma) || math.Abs(got-sigma) < 5e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImpliedVolRejectsArbitrage(t *testing.T) {
+	m := bsParams{S0: 100, R: 0.05}
+	// Call worth more than the stock: impossible.
+	if _, err := ImpliedVol(150, m, 100, 1, true); err == nil {
+		t.Error("price above S accepted")
+	}
+	// Call below intrinsic forward value: impossible.
+	if _, err := ImpliedVol(0.0, m, 50, 1, true); err == nil {
+		t.Error("price below lower bound accepted")
+	}
+	if _, err := ImpliedVol(1, m, -5, 1, true); err == nil {
+		t.Error("negative strike accepted")
+	}
+}
+
+func TestImpliedVolFromProblem(t *testing.T) {
+	p := bsProblem(OptCallEuro, MethodCFCall, 110, 2)
+	res, err := p.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := ImpliedVolFromProblem(p, res.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv-0.25) > 1e-8 {
+		t.Errorf("implied vol %v, want 0.25", iv)
+	}
+	// Works without a sigma parameter too (quoting from market price).
+	q := New().SetModel(ModelBS1D).SetOption(OptPutEuro).SetMethod(MethodCFPut).
+		Set("S0", 100).Set("r", 0.05).Set("divid", 0.02).Set("K", 100).Set("T", 1)
+	pr, err := bsProblem(OptPutEuro, MethodCFPut, 100, 1).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv2, err := ImpliedVolFromProblem(q, pr.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv2-0.25) > 1e-8 {
+		t.Errorf("implied vol without sigma param: %v", iv2)
+	}
+	if _, err := ImpliedVolFromProblem(bsProblem(OptPutAmer, MethodFDBS, 100, 1), 5); err == nil {
+		t.Error("American option accepted by implied vol")
+	}
+}
+
+func TestImpliedVolDeepOTM(t *testing.T) {
+	// Tiny prices at far strikes still invert within loose tolerance.
+	m := bsParams{S0: 100, R: 0.02, Sigma: 0.2}
+	price, _ := bsCallPrice(m, 250, 0.5)
+	if price <= 0 {
+		t.Skip("price underflowed")
+	}
+	iv, err := ImpliedVol(price, bsParams{S0: 100, R: 0.02}, 250, 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv-0.2) > 1e-4 {
+		t.Errorf("deep OTM implied vol %v", iv)
+	}
+}

@@ -1,0 +1,68 @@
+package premia
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params is a flat name→value table holding every numeric parameter of a
+// pricing problem (model, option and method parameters share one
+// namespace, as in Premia's flattened parameter lists).
+type Params map[string]float64
+
+// Clone returns a deep copy.
+func (p Params) Clone() Params {
+	q := make(Params, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// Get returns the value for key, or the fallback if absent.
+func (p Params) Get(key string, fallback float64) float64 {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return fallback
+}
+
+// Need returns the value for key or an error naming the missing parameter.
+func (p Params) Need(key string) (float64, error) {
+	v, ok := p[key]
+	if !ok {
+		return 0, fmt.Errorf("premia: missing parameter %q", key)
+	}
+	return v, nil
+}
+
+// NeedPositive returns the value for key, requiring it to be > 0.
+func (p Params) NeedPositive(key string) (float64, error) {
+	v, err := p.Need(key)
+	if err != nil {
+		return 0, err
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("premia: parameter %q must be positive, got %v", key, v)
+	}
+	return v, nil
+}
+
+// Int returns the value for key rounded to int, or fallback if absent.
+func (p Params) Int(key string, fallback int) int {
+	if v, ok := p[key]; ok {
+		return int(v + 0.5)
+	}
+	return fallback
+}
+
+// Keys returns the parameter names in sorted order for deterministic
+// encoding.
+func (p Params) Keys() []string {
+	ks := make([]string, 0, len(p))
+	for k := range p {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

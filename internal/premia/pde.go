@@ -1,0 +1,377 @@
+package premia
+
+import (
+	"fmt"
+	"math"
+
+	"riskbench/internal/mathutil"
+)
+
+// pdeGrid is the log-space finite-difference grid shared by the PDE
+// pricers: x = ln S on [xmin, xmax] with mi+1 nodes, n time steps.
+type pdeGrid struct {
+	xmin, dx float64
+	mi       int // number of space intervals (nodes = mi+1)
+	n        int // time steps
+	dt       float64
+}
+
+func (g pdeGrid) x(i int) float64 { return g.xmin + float64(i)*g.dx }
+func (g pdeGrid) s(i int) float64 { return math.Exp(g.x(i)) }
+
+// pdeDefaultNodes and pdeDefaultSteps size the grid when the problem does
+// not override them.
+const (
+	pdeDefaultNodes = 400
+	pdeDefaultSteps = 256
+	pdeWidthStds    = 5.0
+)
+
+// newVanillaGrid centres the grid on ln S0 with a ±5σ√T (+drift) width and
+// makes ln S0 an exact node so no interpolation error enters the price.
+func newVanillaGrid(m bsParams, t float64, nodes, steps int) pdeGrid {
+	width := pdeWidthStds*m.Sigma*math.Sqrt(t) + math.Abs(m.R-m.Div-0.5*m.Sigma*m.Sigma)*t
+	if width < 0.5 {
+		width = 0.5
+	}
+	mi := nodes
+	if mi%2 != 0 {
+		mi++
+	}
+	x0 := math.Log(m.S0)
+	dx := 2 * width / float64(mi)
+	return pdeGrid{xmin: x0 - width, dx: dx, mi: mi, n: steps, dt: t / float64(steps)}
+}
+
+// newBarrierGrid anchors the lower edge exactly at the barrier ln L (where
+// the Dirichlet knock-out condition holds) and extends upward.
+func newBarrierGrid(m bsParams, t, l float64, nodes, steps int) pdeGrid {
+	width := pdeWidthStds*m.Sigma*math.Sqrt(t) + math.Abs(m.R-m.Div-0.5*m.Sigma*m.Sigma)*t
+	if width < 0.5 {
+		width = 0.5
+	}
+	xmin := math.Log(l)
+	xmax := math.Log(m.S0) + width
+	mi := nodes
+	dx := (xmax - xmin) / float64(mi)
+	return pdeGrid{xmin: xmin, dx: dx, mi: mi, n: steps, dt: t / float64(steps)}
+}
+
+// newBarrierUpGrid anchors the upper edge exactly at the barrier ln U and
+// extends downward.
+func newBarrierUpGrid(m bsParams, t, u float64, nodes, steps int) pdeGrid {
+	width := pdeWidthStds*m.Sigma*math.Sqrt(t) + math.Abs(m.R-m.Div-0.5*m.Sigma*m.Sigma)*t
+	if width < 0.5 {
+		width = 0.5
+	}
+	xmax := math.Log(u)
+	xmin := math.Log(m.S0) - width
+	mi := nodes
+	dx := (xmax - xmin) / float64(mi)
+	return pdeGrid{xmin: xmin, dx: dx, mi: mi, n: steps, dt: t / float64(steps)}
+}
+
+// pdeCoeffs returns the constant tridiagonal coefficients of the
+// Black–Scholes operator in log space:
+//
+//	A V|_i = ½σ²(V_{i+1}−2V_i+V_{i-1})/dx² + μ(V_{i+1}−V_{i-1})/(2dx) − rV_i
+func pdeCoeffs(m bsParams, g pdeGrid) (alpha, beta, gamma float64) {
+	sig2 := m.Sigma * m.Sigma
+	mu := m.R - m.Div - 0.5*sig2
+	alpha = 0.5*sig2/(g.dx*g.dx) - mu/(2*g.dx)
+	beta = -sig2/(g.dx*g.dx) - m.R
+	gamma = 0.5*sig2/(g.dx*g.dx) + mu/(2*g.dx)
+	return
+}
+
+// pdeSolver carries the per-run scratch buffers of a Crank–Nicolson
+// backward induction over the interior nodes 1..mi-1.
+type pdeSolver struct {
+	g                   pdeGrid
+	m                   bsParams
+	alpha, beta, gamma  float64
+	v                   []float64 // current layer, nodes 0..mi
+	sub, diag, sup, rhs []float64 // interior tridiagonal system
+	scratch             []float64
+	psi                 []float64 // interior obstacle (American), nil otherwise
+	// boundary returns the Dirichlet values at remaining time tau.
+	boundary func(tau float64) (lo, hi float64)
+}
+
+func newPDESolver(m bsParams, g pdeGrid, terminal func(s float64) float64, boundary func(tau float64) (lo, hi float64)) *pdeSolver {
+	ps := &pdeSolver{g: g, m: m, boundary: boundary}
+	ps.alpha, ps.beta, ps.gamma = pdeCoeffs(m, g)
+	ps.v = make([]float64, g.mi+1)
+	for i := range ps.v {
+		ps.v[i] = terminal(g.s(i))
+	}
+	ni := g.mi - 1
+	ps.sub = make([]float64, ni)
+	ps.diag = make([]float64, ni)
+	ps.sup = make([]float64, ni)
+	ps.rhs = make([]float64, ni)
+	ps.scratch = make([]float64, ni)
+	return ps
+}
+
+// run performs the backward induction. theta=1 steps (implicit Euler) are
+// used for the first rannacher steps to damp the payoff kink, then
+// Crank–Nicolson (theta=½).
+func (ps *pdeSolver) run(t float64) error {
+	g := ps.g
+	ni := g.mi - 1
+	const rannacher = 2
+	for step := 0; step < g.n; step++ {
+		theta := 0.5
+		if step < rannacher {
+			theta = 1.0
+		}
+		tauNew := float64(step+1) * g.dt // remaining time after this step
+		loNew, hiNew := ps.boundary(tauNew)
+		a, b, c := ps.alpha, ps.beta, ps.gamma
+		for i := 0; i < ni; i++ {
+			ps.sub[i] = -theta * g.dt * a
+			ps.diag[i] = 1 - theta*g.dt*b
+			ps.sup[i] = -theta * g.dt * c
+			vi := ps.v[i+1]
+			rhs := vi
+			if theta < 1 {
+				om := (1 - theta) * g.dt
+				lower := ps.v[i]
+				upper := ps.v[i+2]
+				rhs += om * (a*lower + b*vi + c*upper)
+			}
+			ps.rhs[i] = rhs
+		}
+		// Fold the new-time Dirichlet boundaries into the first/last
+		// equations; the old-time boundary values enter through the
+		// explicit stencil via v[0] and v[mi], which still hold them.
+		ps.rhs[0] += theta * g.dt * a * loNew
+		ps.rhs[ni-1] += theta * g.dt * c * hiNew
+		interior := ps.v[1:g.mi]
+		var err error
+		if ps.psi != nil {
+			err = mathutil.SolveTridiagBS(ps.sub, ps.diag, ps.sup, ps.rhs, ps.psi, interior, ps.scratch)
+		} else {
+			err = mathutil.SolveTridiag(ps.sub, ps.diag, ps.sup, ps.rhs, interior, ps.scratch)
+		}
+		if err != nil {
+			return fmt.Errorf("premia: PDE step %d: %w", step, err)
+		}
+		ps.v[0], ps.v[g.mi] = loNew, hiNew
+	}
+	return nil
+}
+
+// readout fits a quadratic through the three grid nodes bracketing S0 and
+// returns the interpolated price and delta dV/dS.
+func (ps *pdeSolver) readout(s0 float64) (price, delta float64) {
+	g := ps.g
+	x0 := math.Log(s0)
+	i := int((x0 - g.xmin) / g.dx)
+	if i < 1 {
+		i = 1
+	}
+	if i > g.mi-1 {
+		i = g.mi - 1
+	}
+	xm, xc, xp := g.x(i-1), g.x(i), g.x(i+1)
+	vm, vc, vp := ps.v[i-1], ps.v[i], ps.v[i+1]
+	// Lagrange quadratic in x and its derivative.
+	l0 := (x0 - xc) * (x0 - xp) / ((xm - xc) * (xm - xp))
+	l1 := (x0 - xm) * (x0 - xp) / ((xc - xm) * (xc - xp))
+	l2 := (x0 - xm) * (x0 - xc) / ((xp - xm) * (xp - xc))
+	price = vm*l0 + vc*l1 + vp*l2
+	d0 := ((x0 - xc) + (x0 - xp)) / ((xm - xc) * (xm - xp))
+	d1 := ((x0 - xm) + (x0 - xp)) / ((xc - xm) * (xc - xp))
+	d2 := ((x0 - xm) + (x0 - xc)) / ((xp - xm) * (xp - xc))
+	dvdx := vm*d0 + vc*d1 + vp*d2
+	delta = dvdx / s0 // dV/dS = dV/dx · dx/dS
+	return price, delta
+}
+
+// fdCrankNicolson implements FD_CrankNicolson for European calls, puts and
+// down-and-out barrier calls. Method parameters: "nodes", "steps".
+func fdCrankNicolson(p *Problem) (Result, error) {
+	m, err := bsFrom(p)
+	if err != nil {
+		return Result{}, err
+	}
+	nodes := p.Params.Int("nodes", pdeDefaultNodes)
+	steps := p.Params.Int("steps", pdeDefaultSteps)
+	if nodes < 8 || steps < 1 {
+		return Result{}, fmt.Errorf("premia: FD grid too small (%d nodes, %d steps)", nodes, steps)
+	}
+	switch p.Option {
+	case OptCallEuro, OptPutEuro:
+		o, err := vanillaFrom(p)
+		if err != nil {
+			return Result{}, err
+		}
+		g := newVanillaGrid(m, o.T, nodes, steps)
+		isCall := p.Option == OptCallEuro
+		terminal := func(s float64) float64 {
+			if isCall {
+				return payoffCall(s, o.K)
+			}
+			return payoffPut(s, o.K)
+		}
+		smin, smax := g.s(0), g.s(g.mi)
+		boundary := func(tau float64) (lo, hi float64) {
+			if isCall {
+				return 0, smax*math.Exp(-m.Div*tau) - o.K*math.Exp(-m.R*tau)
+			}
+			return o.K*math.Exp(-m.R*tau) - smin*math.Exp(-m.Div*tau), 0
+		}
+		ps := newPDESolver(m, g, terminal, boundary)
+		if err := ps.run(o.T); err != nil {
+			return Result{}, err
+		}
+		price, delta := ps.readout(m.S0)
+		return Result{Price: price, Delta: delta, HasDelta: true, Work: float64(g.n) * float64(g.mi)}, nil
+
+	case OptCallDownOut:
+		o, err := barrierFrom(p)
+		if err != nil {
+			return Result{}, err
+		}
+		if m.S0 <= o.L {
+			return Result{Price: o.Rebate * math.Exp(-m.R*o.T), HasDelta: true, Work: 1}, nil
+		}
+		g := newBarrierGrid(m, o.T, o.L, nodes, steps)
+		terminal := func(s float64) float64 { return payoffCall(s, o.K) }
+		smax := g.s(g.mi)
+		boundary := func(tau float64) (lo, hi float64) {
+			return o.Rebate * math.Exp(-m.R*tau), smax*math.Exp(-m.Div*tau) - o.K*math.Exp(-m.R*tau)
+		}
+		ps := newPDESolver(m, g, terminal, boundary)
+		if err := ps.run(o.T); err != nil {
+			return Result{}, err
+		}
+		price, delta := ps.readout(m.S0)
+		return Result{Price: price, Delta: delta, HasDelta: true, Work: float64(g.n) * float64(g.mi)}, nil
+
+	case OptCallUpOut:
+		o, err := upBarrierFrom(p)
+		if err != nil {
+			return Result{}, err
+		}
+		u := o.L
+		if m.S0 >= u {
+			return Result{Price: o.Rebate * math.Exp(-m.R*o.T), HasDelta: true, Work: 1}, nil
+		}
+		g := newBarrierUpGrid(m, o.T, u, nodes, steps)
+		terminal := func(s float64) float64 {
+			// Terminal payoff capped by the knock-out region above U.
+			if s >= u {
+				return o.Rebate
+			}
+			return payoffCall(s, o.K)
+		}
+		boundary := func(tau float64) (lo, hi float64) {
+			// Deep OTM at the bottom; knocked out (rebate at expiry) at U.
+			return 0, o.Rebate * math.Exp(-m.R*tau)
+		}
+		ps := newPDESolver(m, g, terminal, boundary)
+		if err := ps.run(o.T); err != nil {
+			return Result{}, err
+		}
+		price, delta := ps.readout(m.S0)
+		return Result{Price: price, Delta: delta, HasDelta: true, Work: float64(g.n) * float64(g.mi)}, nil
+	}
+	return Result{}, fmt.Errorf("premia: FD_CrankNicolson does not price %q", p.Option)
+}
+
+// fdAmericanCommon builds the grid/obstacle shared by the two American
+// finite-difference methods.
+func fdAmericanCommon(p *Problem) (*pdeSolver, bsParams, vanillaParams, error) {
+	m, err := bsFrom(p)
+	if err != nil {
+		return nil, m, vanillaParams{}, err
+	}
+	o, err := vanillaFrom(p)
+	if err != nil {
+		return nil, m, o, err
+	}
+	nodes := p.Params.Int("nodes", pdeDefaultNodes)
+	steps := p.Params.Int("steps", pdeDefaultSteps)
+	if nodes < 8 || steps < 1 {
+		return nil, m, o, fmt.Errorf("premia: FD grid too small (%d nodes, %d steps)", nodes, steps)
+	}
+	g := newVanillaGrid(m, o.T, nodes, steps)
+	terminal := func(s float64) float64 { return payoffPut(s, o.K) }
+	smin := g.s(0)
+	boundary := func(tau float64) (lo, hi float64) {
+		// American put: immediate exercise value at the low edge.
+		return o.K - smin, 0
+	}
+	ps := newPDESolver(m, g, terminal, boundary)
+	ps.psi = make([]float64, g.mi-1)
+	for i := range ps.psi {
+		ps.psi[i] = payoffPut(g.s(i+1), o.K)
+	}
+	return ps, m, o, nil
+}
+
+// fdBrennanSchwartz implements FD_BrennanSchwartz: Crank–Nicolson with the
+// Brennan–Schwartz direct solver projecting onto the exercise obstacle.
+func fdBrennanSchwartz(p *Problem) (Result, error) {
+	ps, m, o, err := fdAmericanCommon(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := ps.run(o.T); err != nil {
+		return Result{}, err
+	}
+	price, delta := ps.readout(m.S0)
+	return Result{Price: price, Delta: delta, HasDelta: true, Work: float64(ps.g.n) * float64(ps.g.mi)}, nil
+}
+
+// fdPSOR implements FD_PSOR: the same discretisation solved as a linear
+// complementarity problem by projected SOR at every step. Method
+// parameters: "omega" (default 1.4), "tol" (1e-9), "maxiter" (2000).
+func fdPSOR(p *Problem) (Result, error) {
+	ps, m, _, err := fdAmericanCommon(p)
+	if err != nil {
+		return Result{}, err
+	}
+	omega := p.Params.Get("omega", 1.4)
+	tol := p.Params.Get("tol", 1e-9)
+	maxIter := p.Params.Int("maxiter", 2000)
+	g := ps.g
+	ni := g.mi - 1
+	totalIters := 0
+	const rannacher = 2
+	for step := 0; step < g.n; step++ {
+		theta := 0.5
+		if step < rannacher {
+			theta = 1.0
+		}
+		tauNew := float64(step+1) * g.dt
+		loNew, hiNew := ps.boundary(tauNew)
+		a, b, c := ps.alpha, ps.beta, ps.gamma
+		for i := 0; i < ni; i++ {
+			ps.sub[i] = -theta * g.dt * a
+			ps.diag[i] = 1 - theta*g.dt*b
+			ps.sup[i] = -theta * g.dt * c
+			vi := ps.v[i+1]
+			rhs := vi
+			if theta < 1 {
+				om := (1 - theta) * g.dt
+				rhs += om * (a*ps.v[i] + b*vi + c*ps.v[i+2])
+			}
+			ps.rhs[i] = rhs
+		}
+		ps.rhs[0] += theta * g.dt * a * loNew
+		ps.rhs[ni-1] += theta * g.dt * c * hiNew
+		interior := ps.v[1:g.mi]
+		iters, err := mathutil.PSOR(ps.sub, ps.diag, ps.sup, ps.rhs, ps.psi, interior, omega, tol, maxIter)
+		if err != nil {
+			return Result{}, fmt.Errorf("premia: FD_PSOR step %d: %w", step, err)
+		}
+		totalIters += iters
+		ps.v[0], ps.v[g.mi] = loNew, hiNew
+	}
+	price, delta := ps.readout(m.S0)
+	return Result{Price: price, Delta: delta, HasDelta: true, Work: float64(totalIters) * float64(ni)}, nil
+}

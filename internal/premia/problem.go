@@ -1,0 +1,249 @@
+package premia
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"riskbench/internal/nsp"
+)
+
+// Problem is the Go counterpart of Premia's PremiaModel object: the choice
+// of an asset class, a model for the underlying, a financial product and a
+// numerical method, plus the flat parameter set. The zero value is not
+// usable; start from New.
+type Problem struct {
+	// Asset is the asset class; only "equity" is registered, as in the
+	// paper's experiments.
+	Asset string
+	// Model names the dynamics of the underlying (see models.go).
+	Model string
+	// Option names the financial product.
+	Option string
+	// Method names the numerical method used by Compute.
+	Method string
+	// Params holds every numeric parameter of the triple.
+	Params Params
+}
+
+// Result holds the output of a pricing computation, mirroring the
+// get_method_results content of Premia (price, delta and Monte Carlo
+// confidence half-widths when applicable).
+type Result struct {
+	// Price is the computed option price.
+	Price float64
+	// PriceCI is the 95% confidence half-width for Monte Carlo methods and
+	// 0 for deterministic methods.
+	PriceCI float64
+	// Delta is the first derivative of the price with respect to spot.
+	Delta float64
+	// HasDelta reports whether the method computed a delta.
+	HasDelta bool
+	// Work is an abstract operation count (grid nodes × steps, paths ×
+	// steps, …) that the benchmark's cluster simulator converts into
+	// virtual compute time; it makes task costs reproducible without
+	// depending on host speed.
+	Work float64
+}
+
+// New returns an empty problem for the equity asset class with default
+// spot/rate parameters, like premia_create followed by set_asset.
+func New() *Problem {
+	return &Problem{Asset: "equity", Params: Params{}}
+}
+
+// SetAsset selects the asset class ("equity" by default, "rate" for the
+// interest-rate products).
+func (p *Problem) SetAsset(name string) *Problem { p.Asset = name; return p }
+
+// SetModel selects the model by name; unknown names are rejected at
+// Compute time so problems can be built before the registry is consulted.
+func (p *Problem) SetModel(name string) *Problem { p.Model = name; return p }
+
+// SetOption selects the financial product by name.
+func (p *Problem) SetOption(name string) *Problem { p.Option = name; return p }
+
+// SetMethod selects the numerical method by name.
+func (p *Problem) SetMethod(name string) *Problem { p.Method = name; return p }
+
+// Set assigns one parameter and returns the problem for chaining.
+func (p *Problem) Set(key string, v float64) *Problem {
+	if p.Params == nil {
+		p.Params = Params{}
+	}
+	p.Params[key] = v
+	return p
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	return &Problem{Asset: p.Asset, Model: p.Model, Option: p.Option, Method: p.Method, Params: p.Params.Clone()}
+}
+
+// String renders the triple compactly for logs and error messages.
+func (p *Problem) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s", p.Asset, p.Model, p.Option, p.Method)
+}
+
+// Validate checks that the triple is registered and compatible, without
+// computing anything.
+func (p *Problem) Validate() error {
+	spec, ok := methods[p.Method]
+	if !ok {
+		return fmt.Errorf("premia: unknown method %q", p.Method)
+	}
+	if spec.asset != p.Asset {
+		return fmt.Errorf("premia: method %q belongs to asset class %q, problem says %q", p.Method, spec.asset, p.Asset)
+	}
+	if !spec.models[p.Model] {
+		return fmt.Errorf("premia: method %q does not support model %q", p.Method, p.Model)
+	}
+	if !spec.options[p.Option] {
+		return fmt.Errorf("premia: method %q does not support option %q", p.Method, p.Option)
+	}
+	return nil
+}
+
+// Compute runs the selected numerical method and returns its result. It is
+// the P.compute[] of the paper's scripts.
+func (p *Problem) Compute() (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	return methods[p.Method].fn(p)
+}
+
+// errNil guards the nsp bridge against nil receivers.
+var errNil = errors.New("premia: nil problem")
+
+// ToNsp converts the problem into an nsp hash table, the form in which
+// problems travel through the message-passing layer.
+func (p *Problem) ToNsp() (*nsp.Hash, error) {
+	if p == nil {
+		return nil, errNil
+	}
+	h := nsp.NewHash()
+	h.Set("asset", nsp.Str(p.Asset))
+	h.Set("model", nsp.Str(p.Model))
+	h.Set("option", nsp.Str(p.Option))
+	h.Set("method", nsp.Str(p.Method))
+	params := nsp.NewHash()
+	for k, v := range p.Params {
+		params.Set(k, nsp.Scalar(v))
+	}
+	h.Set("params", params)
+	return h, nil
+}
+
+// FromNsp rebuilds a problem from the hash produced by ToNsp.
+func FromNsp(o nsp.Object) (*Problem, error) {
+	h, ok := o.(*nsp.Hash)
+	if !ok {
+		return nil, fmt.Errorf("premia: expected hash, got %v", o.Kind())
+	}
+	p := New()
+	for field, dst := range map[string]*string{
+		"asset": &p.Asset, "model": &p.Model, "option": &p.Option, "method": &p.Method,
+	} {
+		v, ok := h.Get(field)
+		if !ok {
+			return nil, fmt.Errorf("premia: hash missing field %q", field)
+		}
+		s, ok := v.(*nsp.SMat)
+		if !ok || s.Rows != 1 || s.Cols != 1 {
+			return nil, fmt.Errorf("premia: field %q is not a string", field)
+		}
+		*dst = s.StrValue()
+	}
+	pv, ok := h.Get("params")
+	if !ok {
+		return nil, errors.New("premia: hash missing field \"params\"")
+	}
+	ph, ok := pv.(*nsp.Hash)
+	if !ok {
+		return nil, errors.New("premia: params field is not a hash")
+	}
+	for _, k := range ph.Keys() {
+		v, _ := ph.Get(k)
+		m, ok := v.(*nsp.Mat)
+		if !ok || m.Rows != 1 || m.Cols != 1 {
+			return nil, fmt.Errorf("premia: parameter %q is not a scalar", k)
+		}
+		p.Params[k] = m.ScalarValue()
+	}
+	return p, nil
+}
+
+// MarshalXDR encodes the problem in the architecture-independent XDR
+// format used by the PremiaModel save method.
+func (p *Problem) MarshalXDR() ([]byte, error) {
+	var buf bytes.Buffer
+	e := nsp.NewXDREncoder(&buf)
+	e.PutString("PREMIA1")
+	e.PutString(p.Asset)
+	e.PutString(p.Model)
+	e.PutString(p.Option)
+	e.PutString(p.Method)
+	keys := p.Params.Keys()
+	e.PutInt(len(keys))
+	for _, k := range keys {
+		e.PutString(k)
+		e.PutFloat64(p.Params[k])
+	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalXDR decodes a problem encoded by MarshalXDR.
+func UnmarshalXDR(data []byte) (*Problem, error) {
+	d := nsp.NewXDRDecoder(bytes.NewReader(data))
+	if tag := d.String(); tag != "PREMIA1" {
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, fmt.Errorf("premia: bad XDR tag %q", tag)
+	}
+	p := New()
+	p.Asset = d.String()
+	p.Model = d.String()
+	p.Option = d.String()
+	p.Method = d.String()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("premia: unreasonable XDR parameter count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		k := d.String()
+		v := d.Float64()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		p.Params[k] = v
+	}
+	return p, nil
+}
+
+// Save writes the problem to a file via the nsp object format, so the file
+// can be consumed by Load, nsp.Load or nsp.SLoad (the serialized-load
+// strategy of the paper).
+func (p *Problem) Save(path string) error {
+	h, err := p.ToNsp()
+	if err != nil {
+		return err
+	}
+	return nsp.Save(path, h)
+}
+
+// Load reads a problem written by Save.
+func Load(path string) (*Problem, error) {
+	o, err := nsp.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromNsp(o)
+}

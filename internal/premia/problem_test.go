@@ -1,0 +1,287 @@
+package premia
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"riskbench/internal/nsp"
+)
+
+func sampleProblem() *Problem {
+	// The paper's own example: an American put in Heston priced by the
+	// Alfonsi Longstaff–Schwartz method.
+	return New().
+		SetModel(ModelHeston).SetOption(OptPutAmer).SetMethod(MethodMCAmerAlfonsi).
+		Set("S0", 100).Set("r", 0.03).Set("V0", 0.04).Set("kappa", 2).
+		Set("theta", 0.04).Set("sigmaV", 0.3).Set("rhoSV", -0.7).
+		Set("K", 100).Set("T", 1).Set("paths", 1000).Set("exdates", 10)
+}
+
+func TestProblemNspRoundTrip(t *testing.T) {
+	p := sampleProblem()
+	h, err := p.ToNsp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromNsp(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p, back)
+	}
+}
+
+func TestProblemNspThroughSerialization(t *testing.T) {
+	// Full wire path: problem → hash → serialize → unserialize → problem.
+	p := sampleProblem()
+	h, err := p.ToNsp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := nsp.Serialize(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := s.Unserialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromNsp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatal("problem lost through serialization")
+	}
+}
+
+func TestProblemXDRRoundTrip(t *testing.T) {
+	p := sampleProblem()
+	data, err := p.MarshalXDR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data)%4 != 0 {
+		t.Errorf("XDR blob not word-aligned: %d bytes", len(data))
+	}
+	back, err := UnmarshalXDR(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatal("XDR round trip mismatch")
+	}
+}
+
+func TestProblemXDRRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalXDR(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := UnmarshalXDR([]byte("garbage!")); err == nil {
+		t.Error("garbage accepted")
+	}
+	good, _ := sampleProblem().MarshalXDR()
+	if _, err := UnmarshalXDR(good[:len(good)-3]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+}
+
+func TestProblemSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fic")
+	p := sampleProblem()
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatal("Save/Load mismatch")
+	}
+}
+
+func TestProblemSLoadPath(t *testing.T) {
+	// The serialized-load strategy: sload the file, ship the serial,
+	// unserialize remotely, rebuild and compute.
+	path := filepath.Join(t.TempDir(), "fic")
+	p := bsProblem(OptCallEuro, MethodCFCall, 100, 1)
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := nsp.SLoad(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := s.Unserialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromNsp(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Price != want.Price {
+		t.Fatalf("sload path changed the price: %v vs %v", got.Price, want.Price)
+	}
+}
+
+func TestPropertyProblemRoundTrips(t *testing.T) {
+	models := []string{ModelBS1D, ModelBSND, ModelLocVol, ModelHeston}
+	options := []string{OptCallEuro, OptPutEuro, OptCallDownOut, OptPutAmer, OptPutBasketEuro, OptPutBasketAmer}
+	methodNames := Methods()
+	keys := []string{"S0", "r", "sigma", "K", "T", "dim", "rho", "paths", "steps", "V0"}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			p := New()
+			p.SetModel(models[r.Intn(len(models))])
+			p.SetOption(options[r.Intn(len(options))])
+			p.SetMethod(methodNames[r.Intn(len(methodNames))])
+			for i := r.Intn(len(keys)); i > 0; i-- {
+				p.Set(keys[r.Intn(len(keys))], r.NormFloat64()*100)
+			}
+			vals[0] = reflect.ValueOf(p)
+		},
+	}
+	f := func(p *Problem) bool {
+		h, err := p.ToNsp()
+		if err != nil {
+			return false
+		}
+		b1, err := FromNsp(h)
+		if err != nil || !reflect.DeepEqual(p, b1) {
+			return false
+		}
+		data, err := p.MarshalXDR()
+		if err != nil {
+			return false
+		}
+		b2, err := UnmarshalXDR(data)
+		return err == nil && reflect.DeepEqual(p, b2)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsUnknownTriples(t *testing.T) {
+	cases := []*Problem{
+		New().SetModel(ModelBS1D).SetOption(OptCallEuro).SetMethod("NoSuchMethod"),
+		New().SetModel("NoSuchModel").SetOption(OptCallEuro).SetMethod(MethodCFCall),
+		New().SetModel(ModelBS1D).SetOption(OptPutEuro).SetMethod(MethodCFCall), // incompatible option
+		New().SetModel(ModelHeston).SetOption(OptCallEuro).SetMethod(MethodCFCall),
+		func() *Problem { p := sampleProblem(); p.Asset = "commodity"; return p }(),
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%s): Validate accepted an invalid triple", i, p)
+		}
+		if _, err := p.Compute(); err == nil {
+			t.Errorf("case %d (%s): Compute accepted an invalid triple", i, p)
+		}
+	}
+}
+
+func TestComputeMissingParams(t *testing.T) {
+	p := New().SetModel(ModelBS1D).SetOption(OptCallEuro).SetMethod(MethodCFCall)
+	if _, err := p.Compute(); err == nil {
+		t.Fatal("Compute succeeded without parameters")
+	}
+	p.Set("S0", 100).Set("sigma", 0.2)
+	if _, err := p.Compute(); err == nil {
+		t.Fatal("Compute succeeded without strike/maturity")
+	}
+	p.Set("K", 100).Set("T", 1)
+	if _, err := p.Compute(); err != nil {
+		t.Fatalf("Compute failed with full parameters: %v", err)
+	}
+}
+
+func TestComputeRejectsNonPositive(t *testing.T) {
+	p := bsProblem(OptCallEuro, MethodCFCall, 100, 1).Set("sigma", -0.2)
+	if _, err := p.Compute(); err == nil {
+		t.Fatal("negative volatility accepted")
+	}
+	p = bsProblem(OptCallEuro, MethodCFCall, 100, 1).Set("S0", 0)
+	if _, err := p.Compute(); err == nil {
+		t.Fatal("zero spot accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := sampleProblem()
+	q := p.Clone()
+	q.Set("S0", 1)
+	if p.Params["S0"] == 1 {
+		t.Fatal("Clone shares the parameter map")
+	}
+}
+
+func TestRegistryQueries(t *testing.T) {
+	ms := Methods()
+	if len(ms) < 10 {
+		t.Fatalf("only %d methods registered", len(ms))
+	}
+	if !MethodSupports(MethodCFCall, ModelBS1D, OptCallEuro) {
+		t.Error("CF_Call should support BS/CallEuro")
+	}
+	if MethodSupports(MethodCFCall, ModelHeston, OptCallEuro) {
+		t.Error("CF_Call should not support Heston")
+	}
+	if MethodSupports("nope", ModelBS1D, OptCallEuro) {
+		t.Error("unknown method reported as supported")
+	}
+	models, options := Compatibles(MethodTreeCRR)
+	if len(models) != 1 || models[0] != ModelBS1D {
+		t.Errorf("CRR models = %v", models)
+	}
+	if len(options) != 4 {
+		t.Errorf("CRR options = %v", options)
+	}
+	if m, o := Compatibles("nope"); m != nil || o != nil {
+		t.Error("unknown method returned compatibles")
+	}
+}
+
+func TestFromNspRejectsMalformed(t *testing.T) {
+	if _, err := FromNsp(nsp.Scalar(1)); err == nil {
+		t.Error("non-hash accepted")
+	}
+	h := nsp.NewHash()
+	h.Set("asset", nsp.Str("equity"))
+	if _, err := FromNsp(h); err == nil {
+		t.Error("hash missing fields accepted")
+	}
+	p := sampleProblem()
+	good, _ := p.ToNsp()
+	good.Set("params", nsp.Scalar(3))
+	if _, err := FromNsp(good); err == nil {
+		t.Error("non-hash params accepted")
+	}
+	good2, _ := p.ToNsp()
+	ph, _ := good2.Get("params")
+	ph.(*nsp.Hash).Set("bad", nsp.Str("not a number"))
+	if _, err := FromNsp(good2); err == nil {
+		t.Error("non-scalar parameter accepted")
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	p := bsProblem(OptCallEuro, MethodCFCall, 100, 1)
+	if got := p.String(); got != "equity/BlackScholes1dim/CallEuro/CF_Call" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,142 @@
+package premia
+
+import (
+	"math"
+	"testing"
+)
+
+func vasicekProblem(option, method string) *Problem {
+	return New().SetAsset(AssetRate).
+		SetModel(ModelVasicek).SetOption(option).SetMethod(method).
+		Set("r0", 0.03).Set("a", 0.6).Set("b", 0.05).Set("sigmaR", 0.015).
+		Set("T", 2)
+}
+
+func TestVasicekBondBasics(t *testing.T) {
+	res, err := vasicekProblem(OptZCBond, MethodCFVasicek).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Price <= 0 || res.Price >= 1 {
+		t.Fatalf("ZCB price %v outside (0,1)", res.Price)
+	}
+	// Longer maturity with positive rates: cheaper bond.
+	long, err := vasicekProblem(OptZCBond, MethodCFVasicek).Set("T", 10).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Price >= res.Price {
+		t.Fatalf("P(0,10) = %v not below P(0,2) = %v", long.Price, res.Price)
+	}
+}
+
+func TestVasicekBondZeroVolLimit(t *testing.T) {
+	// As σᵣ→0 and a large, r stays near its deterministic path; with
+	// r0 = b the bond tends to e^{-bT}.
+	p := vasicekProblem(OptZCBond, MethodCFVasicek).
+		Set("r0", 0.05).Set("b", 0.05).Set("sigmaR", 1e-9).Set("a", 5)
+	res, err := p.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-0.05 * 2)
+	if math.Abs(res.Price-want) > 1e-6 {
+		t.Fatalf("flat-rate bond %v, want %v", res.Price, want)
+	}
+}
+
+func TestVasicekBondMCMatchesCF(t *testing.T) {
+	cf, err := vasicekProblem(OptZCBond, MethodCFVasicek).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := vasicekProblem(OptZCBond, MethodMCVasicek).
+		Set("paths", 50000).Set("mcsteps", 100).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(cf.Price - mc.Price); diff > 3*mc.PriceCI+2e-4 {
+		t.Errorf("ZCB CF %v vs MC %v ± %v", cf.Price, mc.Price, mc.PriceCI)
+	}
+}
+
+func TestVasicekZCCallMCMatchesCF(t *testing.T) {
+	build := func(method string) *Problem {
+		return vasicekProblem(OptZCCall, method).Set("S", 4).Set("K", 0.85)
+	}
+	cf, err := build(MethodCFVasicek).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := build(MethodMCVasicek).Set("paths", 60000).Set("mcsteps", 100).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Price <= 0 {
+		t.Fatalf("ZC call price %v not positive", cf.Price)
+	}
+	if diff := math.Abs(cf.Price - mc.Price); diff > 3*mc.PriceCI+2e-4 {
+		t.Errorf("ZC call CF %v vs MC %v ± %v", cf.Price, mc.Price, mc.PriceCI)
+	}
+}
+
+func TestVasicekZCCallBounds(t *testing.T) {
+	// 0 <= C <= P(0,S); and C >= P(0,S) − K·P(0,T).
+	cf, err := vasicekProblem(OptZCCall, MethodCFVasicek).Set("S", 4).Set("K", 0.85).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vasicekParams{R0: 0.03, A: 0.6, B: 0.05, SigmaR: 0.015}
+	ps := vasicekBond(m, 4)
+	pt := vasicekBond(m, 2)
+	lower := math.Max(ps-0.85*pt, 0)
+	if cf.Price < lower-1e-12 || cf.Price > ps+1e-12 {
+		t.Fatalf("ZC call %v outside [%v, %v]", cf.Price, lower, ps)
+	}
+}
+
+func TestVasicekValidation(t *testing.T) {
+	// Rate methods must not accept equity problems and vice versa.
+	wrong := New().SetModel(ModelVasicek).SetOption(OptZCBond).SetMethod(MethodCFVasicek).
+		Set("r0", 0.03).Set("a", 0.6).Set("sigmaR", 0.01).Set("T", 1)
+	if err := wrong.Validate(); err == nil {
+		t.Error("equity-asset Vasicek problem accepted")
+	}
+	wrong2 := New().SetAsset(AssetRate).SetModel(ModelBS1D).SetOption(OptCallEuro).SetMethod(MethodCFCall).
+		Set("S0", 100).Set("sigma", 0.2).Set("K", 100).Set("T", 1)
+	if err := wrong2.Validate(); err == nil {
+		t.Error("rate-asset equity problem accepted")
+	}
+	if _, err := vasicekProblem(OptZCCall, MethodCFVasicek).Set("S", 1).Set("K", 0.9).Compute(); err == nil {
+		t.Error("S <= T accepted")
+	}
+	if _, err := vasicekProblem(OptZCBond, MethodCFVasicek).Set("a", -1).Compute(); err == nil {
+		t.Error("negative mean reversion accepted")
+	}
+}
+
+func TestVasicekRoundTrips(t *testing.T) {
+	p := vasicekProblem(OptZCCall, MethodCFVasicek).Set("S", 4).Set("K", 0.85)
+	h, err := p.ToNsp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromNsp(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Asset != AssetRate {
+		t.Fatalf("asset lost: %q", back.Asset)
+	}
+	a, err := p.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Price != b.Price {
+		t.Fatal("round-tripped rate problem prices differently")
+	}
+}

@@ -1,0 +1,12 @@
+// Package risk implements the benchmark's raison d'être as stated in the
+// paper's introduction: banking regulation requires a daily evaluation of
+// the risk of the whole portfolio, which means pricing every claim "for
+// various values of these model parameters to measure their
+// sensibilities" — around 10⁶ atomic computations per day.
+//
+// The package turns a portfolio plus a set of parameter scenarios
+// (spot/volatility/rate ladders, stress events, full spot×vol grids) into
+// that flood of atomic pricing problems, revalues them on the Robin-Hood
+// farm, and aggregates scenario P&L, empirical value-at-risk and
+// portfolio-level greeks.
+package risk

@@ -1,0 +1,434 @@
+package simnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
+)
+
+// flatLink has zero costs so logical tests are unpolluted by timing.
+var flatLink = LinkConfig{}
+
+func TestSimSendRecv(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 2, flatLink)
+	var got []byte
+	var st mpi.Status
+	e.Go("sender", func(p *Proc) {
+		w.Comm(0).Bind(p)
+		if err := w.Comm(0).Send([]byte("virtual"), 1, 4); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Go("receiver", func(p *Proc) {
+		w.Comm(1).Bind(p)
+		var err error
+		got, st, err = w.Comm(1).Recv(0, 4)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "virtual" || st.Source != 0 || st.Tag != 4 || st.Bytes != 7 {
+		t.Fatalf("got %q %+v", got, st)
+	}
+}
+
+func TestSimMessageTiming(t *testing.T) {
+	link := LinkConfig{Latency: 0.5, Bandwidth: 1000, SendOverhead: 0.1, RecvOverhead: 0.05}
+	e := NewEngine()
+	w := NewWorld(e, 2, link)
+	var sendDone, recvDone float64
+	e.Go("sender", func(p *Proc) {
+		w.Comm(0).Bind(p)
+		if err := w.Comm(0).Send(make([]byte, 1000), 1, 0); err != nil { // 1 s of transfer
+			t.Error(err)
+		}
+		sendDone = p.Now()
+	})
+	e.Go("receiver", func(p *Proc) {
+		w.Comm(1).Bind(p)
+		if _, _, err := w.Comm(1).Recv(0, 0); err != nil {
+			t.Error(err)
+		}
+		recvDone = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sender: overhead 0.1 + transfer 1.0 = 1.1.
+	if math.Abs(sendDone-1.1) > 1e-12 {
+		t.Errorf("send done at %v, want 1.1", sendDone)
+	}
+	// Receiver: arrival 1.1 + latency 0.5, + recv overhead 0.05 = 1.65.
+	if math.Abs(recvDone-1.65) > 1e-12 {
+		t.Errorf("recv done at %v, want 1.65", recvDone)
+	}
+}
+
+func TestSimProbeDoesNotConsume(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 2, flatLink)
+	e.Go("sender", func(p *Proc) {
+		w.Comm(0).Bind(p)
+		_ = w.Comm(0).Send([]byte{1, 2, 3}, 1, 7)
+	})
+	e.Go("receiver", func(p *Proc) {
+		c := w.Comm(1)
+		c.Bind(p)
+		st, err := c.Probe(mpi.AnySource, mpi.AnyTag)
+		if err != nil || st.Bytes != 3 {
+			t.Errorf("probe %v %v", st, err)
+		}
+		data, _, err := c.Recv(st.Source, st.Tag)
+		if err != nil || len(data) != 3 {
+			t.Errorf("recv after probe: %v %v", data, err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimTagSelectivity(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 2, flatLink)
+	e.Go("sender", func(p *Proc) {
+		w.Comm(0).Bind(p)
+		_ = w.Comm(0).Send([]byte("one"), 1, 1)
+		_ = w.Comm(0).Send([]byte("two"), 1, 2)
+	})
+	e.Go("receiver", func(p *Proc) {
+		c := w.Comm(1)
+		c.Bind(p)
+		d2, _, err := c.Recv(0, 2)
+		if err != nil || string(d2) != "two" {
+			t.Errorf("tag 2: %q %v", d2, err)
+		}
+		d1, _, err := c.Recv(0, 1)
+		if err != nil || string(d1) != "one" {
+			t.Errorf("tag 1: %q %v", d1, err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimComputeOccupiesWorker(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 1, flatLink)
+	e.Go("w", func(p *Proc) {
+		c := w.Comm(0)
+		c.Bind(p)
+		c.Compute(42)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("clock %v, want 42", e.Now())
+	}
+}
+
+func TestSimObjectTransmission(t *testing.T) {
+	// The mpi object helpers must work over the simulated transport too.
+	e := NewEngine()
+	w := NewWorld(e, 2, DefaultGigE)
+	h := nsp.NewHash()
+	h.Set("K", nsp.Scalar(100))
+	h.Set("method", nsp.Str("CF_Call"))
+	e.Go("m", func(p *Proc) {
+		w.Comm(0).Bind(p)
+		if err := mpi.SendObj(w.Comm(0), h, 1, 3); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Go("s", func(p *Proc) {
+		w.Comm(1).Bind(p)
+		o, _, err := mpi.RecvObj(w.Comm(1), 0, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !o.Equal(h) {
+			t.Error("object corrupted in simulation")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRecvBeforeSendBlocks(t *testing.T) {
+	// Receiver posts first; sender arrives later; both finish.
+	e := NewEngine()
+	w := NewWorld(e, 2, flatLink)
+	var recvAt float64
+	e.Go("receiver", func(p *Proc) {
+		w.Comm(1).Bind(p)
+		if _, _, err := w.Comm(1).Recv(mpi.AnySource, mpi.AnyTag); err != nil {
+			t.Error(err)
+		}
+		recvAt = p.Now()
+	})
+	e.Go("sender", func(p *Proc) {
+		w.Comm(0).Bind(p)
+		p.Sleep(3)
+		_ = w.Comm(0).Send([]byte("late"), 1, 0)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 3 {
+		t.Fatalf("recv completed at %v, want 3", recvAt)
+	}
+}
+
+func TestSimDeadlockWhenNoSender(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 2, flatLink)
+	e.Go("receiver", func(p *Proc) {
+		w.Comm(1).Bind(p)
+		_, _, _ = w.Comm(1).Recv(0, 0)
+	})
+	if _, ok := e.Run().(*ErrDeadlock); !ok {
+		t.Fatal("expected deadlock")
+	}
+}
+
+func TestSimUnboundCommErrors(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 2, flatLink)
+	if err := w.Comm(0).Send(nil, 1, 0); err == nil {
+		t.Fatal("unbound send succeeded")
+	}
+	if _, err := w.Comm(0).Probe(0, 0); err == nil {
+		t.Fatal("unbound probe succeeded")
+	}
+	if _, _, err := w.Comm(0).Recv(0, 0); err == nil {
+		t.Fatal("unbound recv succeeded")
+	}
+}
+
+func TestNFSCacheSemantics(t *testing.T) {
+	cfg := NFSConfig{ServerTime: 1, Bandwidth: 1000, Latency: 0.5, CacheHitTime: 0.001}
+	e := NewEngine()
+	fs := NewNFS(cfg)
+	var times []float64
+	e.Go("client", func(p *Proc) {
+		start := p.Now()
+		fs.Read(p, 1, "a.bin", 1000) // miss: 0.5 + (1 + 1) = 2.5
+		times = append(times, p.Now()-start)
+		start = p.Now()
+		fs.Read(p, 1, "a.bin", 1000) // hit: 0.001
+		times = append(times, p.Now()-start)
+		start = p.Now()
+		fs.Read(p, 2, "a.bin", 1000) // different node: miss again
+		times = append(times, p.Now()-start)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(times[0]-2.5) > 1e-12 {
+		t.Errorf("first read %v, want 2.5", times[0])
+	}
+	if math.Abs(times[1]-0.001) > 1e-12 {
+		t.Errorf("cached read %v, want 0.001", times[1])
+	}
+	if math.Abs(times[2]-2.5) > 1e-12 {
+		t.Errorf("other-node read %v, want 2.5", times[2])
+	}
+	hits, misses := fs.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestNFSServerContention(t *testing.T) {
+	// Two cold clients reading different files queue at the server.
+	cfg := NFSConfig{ServerTime: 1, Latency: 0, CacheHitTime: 0}
+	e := NewEngine()
+	fs := NewNFS(cfg)
+	var finish []float64
+	for i := 0; i < 2; i++ {
+		node := i + 1
+		e.Go("client", func(p *Proc) {
+			fs.Read(p, node, "file", 0)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finish[0] != 1 || finish[1] != 2 {
+		t.Fatalf("finish %v, want [1 2]", finish)
+	}
+}
+
+func TestNFSWarm(t *testing.T) {
+	cfg := NFSConfig{ServerTime: 10, CacheHitTime: 0.01}
+	e := NewEngine()
+	fs := NewNFS(cfg)
+	fs.Warm([]int{1, 2}, []string{"x", "y"})
+	e.Go("c", func(p *Proc) {
+		fs.Read(p, 1, "x", 100)
+		fs.Read(p, 2, "y", 100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() > 0.05 {
+		t.Fatalf("warm reads took %v", e.Now())
+	}
+	if hits, misses := fs.Stats(); hits != 2 || misses != 0 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestNodeSpeedStretchesCompute(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 2, flatLink)
+	w.SetSpeed(1, 0.5)
+	var fast, slow float64
+	e.Go("fast", func(p *Proc) {
+		c := w.Comm(0)
+		c.Bind(p)
+		c.Compute(10)
+		fast = p.Now()
+	})
+	e.Go("slow", func(p *Proc) {
+		c := w.Comm(1)
+		c.Bind(p)
+		c.Compute(10)
+		slow = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fast != 10 || slow != 20 {
+		t.Fatalf("fast %v slow %v, want 10 and 20", fast, slow)
+	}
+	if w.BusyTime(0) != 10 || w.BusyTime(1) != 20 {
+		t.Fatalf("busy times %v %v", w.BusyTime(0), w.BusyTime(1))
+	}
+	if u := w.Utilization(1); math.Abs(u-1.0) > 1e-12 {
+		t.Fatalf("slow node utilisation %v, want 1", u)
+	}
+	if u := w.Utilization(0); math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("fast node utilisation %v, want 0.5 (idle half the run)", u)
+	}
+}
+
+func TestSetSpeedRejectsNonPositive(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 1, flatLink)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.SetSpeed(0, 0)
+}
+
+func TestComputeZeroIsFree(t *testing.T) {
+	e := NewEngine()
+	w := NewWorld(e, 1, flatLink)
+	e.Go("p", func(p *Proc) {
+		c := w.Comm(0)
+		c.Bind(p)
+		c.Compute(0)
+		c.Compute(-1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 || w.BusyTime(0) != 0 {
+		t.Fatal("zero compute advanced the clock")
+	}
+}
+
+func TestTracerRecordsEvents(t *testing.T) {
+	e := NewEngine()
+	tr := &Tracer{}
+	e.SetTracer(tr)
+	w := NewWorld(e, 2, flatLink)
+	fs := NewNFS(NFSConfig{ServerTime: 0.1, CacheHitTime: 0.001})
+	e.Go("sender", func(p *Proc) {
+		c := w.Comm(0)
+		c.Bind(p)
+		c.Compute(1)
+		_ = c.Send([]byte("x"), 1, 3)
+	})
+	e.Go("receiver", func(p *Proc) {
+		c := w.Comm(1)
+		c.Bind(p)
+		_, _, _ = c.Recv(0, 3)
+		fs.Read(p, 1, "f.bin", 100)
+		fs.Read(p, 1, "f.bin", 100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range tr.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["compute"] != 1 || kinds["send"] != 1 || kinds["recv"] != 1 || kinds["nfs"] != 2 {
+		t.Fatalf("event counts %v", kinds)
+	}
+	// Times are non-decreasing.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].T < tr.Events[i-1].T {
+			t.Fatal("trace out of order")
+		}
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"events", "send=1", "nfs=2"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	e := NewEngine()
+	tr := &Tracer{Limit: 3}
+	e.SetTracer(tr)
+	w := NewWorld(e, 1, flatLink)
+	e.Go("p", func(p *Proc) {
+		c := w.Comm(0)
+		c.Bind(p)
+		for i := 0; i < 10; i++ {
+			c.Compute(1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 || tr.Dropped != 7 {
+		t.Fatalf("events %d dropped %d", len(tr.Events), tr.Dropped)
+	}
+	if !strings.Contains(tr.Summary(), "dropped") {
+		t.Error("summary hides drops")
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	// No tracer attached: everything still works (nil receiver emit).
+	e := NewEngine()
+	w := NewWorld(e, 1, flatLink)
+	e.Go("p", func(p *Proc) {
+		c := w.Comm(0)
+		c.Bind(p)
+		c.Compute(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at []float64
+	e.Go("p", func(p *Proc) {
+		p.Sleep(1.5)
+		at = append(at, p.Now())
+		p.Sleep(0.5)
+		at = append(at, p.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 2 || at[0] != 1.5 || at[1] != 2.0 {
+		t.Fatalf("timestamps %v", at)
+	}
+	if e.Now() != 2.0 {
+		t.Fatalf("final clock %v", e.Now())
+	}
+}
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Go("p", func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-3)
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != 0 {
+		t.Fatalf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestParallelProcsOverlap(t *testing.T) {
+	// Two processes sleeping 10s each in parallel: makespan 10, not 20.
+	e := NewEngine()
+	for i := 0; i < 2; i++ {
+		e.Go("worker", func(p *Proc) { p.Sleep(10) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("makespan %v, want 10", e.Now())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, n := range []string{"a", "b", "c"} {
+			name := n
+			e.Go(name, func(p *Proc) {
+				p.Sleep(1)
+				order = append(order, name)
+				p.Sleep(1)
+				order = append(order, name)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("length changed")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("nondeterministic interleaving: %v vs %v", got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) {
+		p.block("waiting forever")
+	})
+	err := e.Run()
+	dl, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if len(dl.Blocked) != 1 {
+		t.Fatalf("blocked list %v", dl.Blocked)
+	}
+}
+
+func TestSleepUntil(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		p.SleepUntil(5)
+		p.SleepUntil(3) // already past: no-op
+		if p.Now() != 5 {
+			t.Errorf("now = %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceFIFOQueue(t *testing.T) {
+	// Three processes requesting a 1-second service at t=0 finish at 1, 2,
+	// 3 seconds: the resource serialises them.
+	e := NewEngine()
+	var r Resource
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		e.Go("client", func(p *Proc) {
+			r.Use(p, 1)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(finish[i]-want[i]) > 1e-12 {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceIdleThenBusy(t *testing.T) {
+	e := NewEngine()
+	var r Resource
+	var second float64
+	e.Go("a", func(p *Proc) {
+		r.Use(p, 2) // occupies [0,2)
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(5) // arrives when the resource is idle again
+		r.Use(p, 1)
+		second = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != 6 {
+		t.Fatalf("second finish %v, want 6 (no spurious queueing)", second)
+	}
+}

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEvent is one recorded simulation event.
+type TraceEvent struct {
+	// T is the virtual time of the event.
+	T float64
+	// Proc names the process involved.
+	Proc string
+	// Kind classifies the event: "send", "recv", "compute", "nfs".
+	Kind string
+	// Detail is a human-readable annotation.
+	Detail string
+}
+
+// Tracer records simulation events for debugging and post-run analysis.
+// Attach one to an engine with Engine.SetTracer before Run; a zero value
+// records without bound, or set Limit to cap memory.
+type Tracer struct {
+	// Events are in emission order (which is virtual-time order).
+	Events []TraceEvent
+	// Limit caps the number of retained events (0 = unlimited); once
+	// full, further events are counted but dropped.
+	Limit int
+	// Dropped counts events discarded because of Limit.
+	Dropped int
+}
+
+func (tr *Tracer) emit(t float64, proc, kind, detail string) {
+	if tr == nil {
+		return
+	}
+	if tr.Limit > 0 && len(tr.Events) >= tr.Limit {
+		tr.Dropped++
+		return
+	}
+	tr.Events = append(tr.Events, TraceEvent{T: t, Proc: proc, Kind: kind, Detail: detail})
+}
+
+// Summary renders a compact per-kind count plus the first few events.
+func (tr *Tracer) Summary() string {
+	var b strings.Builder
+	counts := map[string]int{}
+	for _, e := range tr.Events {
+		counts[e.Kind]++
+	}
+	fmt.Fprintf(&b, "%d events", len(tr.Events))
+	if tr.Dropped > 0 {
+		fmt.Fprintf(&b, " (+%d dropped)", tr.Dropped)
+	}
+	for _, k := range []string{"send", "recv", "compute", "nfs"} {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, "  %s=%d", k, counts[k])
+		}
+	}
+	b.WriteString("\n")
+	n := len(tr.Events)
+	if n > 10 {
+		n = 10
+	}
+	for _, e := range tr.Events[:n] {
+		fmt.Fprintf(&b, "%12.6f  %-12s %-8s %s\n", e.T, e.Proc, e.Kind, e.Detail)
+	}
+	return b.String()
+}
+
+// SetTracer attaches a tracer to the engine; pass nil to disable.
+func (e *Engine) SetTracer(tr *Tracer) { e.tracer = tr }
+
+// trace emits an event at the current virtual time if tracing is on.
+func (e *Engine) trace(proc, kind, detail string) {
+	e.tracer.emit(e.now, proc, kind, detail)
+}
