@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the recommended pre-commit
+# gate: tier-1 build+test, vet, and a race pass over the packages with
+# real concurrency (the farm's goroutine ranks, the message transports,
+# and the lock-free telemetry primitives).
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench 'BenchmarkTable|BenchmarkAblation' -benchtime 1x .

@@ -15,6 +15,7 @@ package riskbench_test
 //	go test -bench=BenchmarkTableIII -v
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -84,10 +85,10 @@ func BenchmarkAblationScheduling(b *testing.B) {
 	}
 	var dyn, static float64
 	for i := 0; i < b.N; i++ {
-		if dyn, err = bench.Run(bench.RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad}); err != nil {
+		if dyn, err = bench.Run(context.Background(), bench.RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad}); err != nil {
 			b.Fatal(err)
 		}
-		if static, err = bench.Run(bench.RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, Scheduler: bench.StaticBlock}); err != nil {
+		if static, err = bench.Run(context.Background(), bench.RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, Scheduler: bench.StaticBlock}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,7 +108,7 @@ func BenchmarkAblationBatching(b *testing.B) {
 		b.Run(fmt.Sprintf("batch%d", bs), func(b *testing.B) {
 			var t float64
 			for i := 0; i < b.N; i++ {
-				t, err = bench.Run(bench.RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, BatchSize: bs})
+				t, err = bench.Run(context.Background(), bench.RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, BatchSize: bs})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -128,7 +129,7 @@ func BenchmarkAblationHierarchy(b *testing.B) {
 	b.Run("flat", func(b *testing.B) {
 		var t float64
 		for i := 0; i < b.N; i++ {
-			t, err = bench.Run(bench.RunConfig{Tasks: tasks, CPUs: 129, Strategy: farm.SerializedLoad})
+			t, err = bench.Run(context.Background(), bench.RunConfig{Tasks: tasks, CPUs: 129, Strategy: farm.SerializedLoad})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -139,7 +140,7 @@ func BenchmarkAblationHierarchy(b *testing.B) {
 		b.Run(fmt.Sprintf("groups%d", groups), func(b *testing.B) {
 			var t float64
 			for i := 0; i < b.N; i++ {
-				t, err = bench.Run(bench.RunConfig{
+				t, err = bench.Run(context.Background(), bench.RunConfig{
 					Tasks: tasks, CPUs: 129, Strategy: farm.SerializedLoad,
 					Scheduler: bench.Hierarchical, Groups: groups, Chunk: 64,
 				})
@@ -174,7 +175,7 @@ func BenchmarkAblationCompression(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rc := slow
 			rc.Tasks = tasks
-			if t, err = bench.Run(rc); err != nil {
+			if t, err = bench.Run(context.Background(), rc); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -185,7 +186,7 @@ func BenchmarkAblationCompression(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rc := slow
 			rc.Tasks = ctasks
-			if t, err = bench.Run(rc); err != nil {
+			if t, err = bench.Run(context.Background(), rc); err != nil {
 				b.Fatal(err)
 			}
 		}

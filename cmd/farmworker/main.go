@@ -13,14 +13,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"riskbench/internal/farm"
 	"riskbench/internal/mpi"
 	"riskbench/internal/portfolio"
+	"riskbench/internal/premia"
+	"riskbench/internal/telemetry"
 )
 
 func main() {
@@ -32,14 +37,31 @@ func main() {
 		n         = flag.Int("n", 1000, "master mode: toy portfolio size")
 		stratName = flag.String("strategy", "serialized", "full | serialized (NFS needs a real shared mount)")
 		batch     = flag.Int("batch", 1, "tasks per message batch")
+		telAddr   = flag.String("telemetry", "", "serve a JSON metrics snapshot over HTTP on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.Default
+		premia.SetTelemetry(reg)
+		mpi.SetTelemetry(reg)
+		go func() {
+			if err := http.ListenAndServe(*telAddr, telemetry.Handler(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "farmworker: telemetry server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry snapshot on http://%s/\n", *telAddr)
+	}
+
 	switch {
 	case *connect != "":
-		runWorker(*connect)
+		runWorker(*connect, reg)
 	case *listen != "":
-		runMaster(*listen, *size, *pfName, *n, *stratName, *batch)
+		runMaster(ctx, *listen, *size, *pfName, *n, *stratName, *batch, reg)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -51,7 +73,7 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func runWorker(addr string) {
+func runWorker(addr string, reg *telemetry.Registry) {
 	c, err := mpi.DialHub(addr)
 	if err != nil {
 		fatalf("%v", err)
@@ -62,13 +84,13 @@ func runWorker(addr string) {
 	// payload presence from it, so it travels out of band: the worker uses
 	// the same default as the master unless overridden by the descriptor
 	// exchange. Full and serialized load share the worker code path.
-	if err := farm.RunWorker(c, farm.LiveExecutor{}, farm.FileStore{}, farm.Options{Strategy: farm.SerializedLoad}); err != nil {
+	if err := farm.RunWorker(c, farm.LiveExecutor{}, farm.FileStore{}, farm.Options{Strategy: farm.SerializedLoad, Telemetry: reg}); err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Println("worker done")
 }
 
-func runMaster(addr string, size int, pfName string, n int, stratName string, batch int) {
+func runMaster(ctx context.Context, addr string, size int, pfName string, n int, stratName string, batch int, reg *telemetry.Registry) {
 	var strat farm.Strategy
 	switch stratName {
 	case "full":
@@ -101,7 +123,7 @@ func runMaster(addr string, size int, pfName string, n int, stratName string, ba
 		fatalf("%v", err)
 	}
 	start := time.Now()
-	results, err := farm.RunMaster(hub, tasks, farm.LiveLoader{}, farm.Options{Strategy: strat, BatchSize: batch})
+	results, err := farm.RunMaster(ctx, hub, tasks, farm.LiveLoader{}, farm.Options{Strategy: strat, BatchSize: batch, Telemetry: reg})
 	if err != nil {
 		fatalf("master: %v", err)
 	}

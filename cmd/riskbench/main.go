@@ -21,9 +21,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 	"time"
@@ -33,6 +36,7 @@ import (
 	"riskbench/internal/mpi"
 	"riskbench/internal/portfolio"
 	"riskbench/internal/premia"
+	"riskbench/internal/telemetry"
 )
 
 func main() {
@@ -50,14 +54,34 @@ func main() {
 		util      = flag.Bool("utilization", false, "report worker utilization across CPU counts on the simulator")
 		selftest  = flag.Bool("selftest", false, "run the §4.1 non-regression suite live and report per-method results")
 		calibrate = flag.Bool("calibrate", false, "measure per-class costs on this machine before simulating (-table mode)")
+		telAddr   = flag.String("telemetry", "", "serve a JSON metrics snapshot over HTTP on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the run cooperatively: masters stop dispatching,
+	// drain in-flight batches and shut their workers down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// reg is nil (a no-op sink) unless -telemetry is given.
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.Default
+		premia.SetTelemetry(reg)
+		mpi.SetTelemetry(reg)
+		go func() {
+			if err := http.ListenAndServe(*telAddr, telemetry.Handler(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "riskbench: telemetry server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry snapshot on http://%s/\n", *telAddr)
+	}
+
 	switch {
 	case *selftest:
-		runSelfTest(*workers)
+		runSelfTest(ctx, *workers, reg)
 	case *util:
-		runUtilization(*pfName, *n, *stratName, *batch)
+		runUtilization(ctx, *pfName, *n, *stratName, *batch)
 	case *methods:
 		for _, m := range premia.Methods() {
 			models, options := premia.Compatibles(m)
@@ -66,7 +90,7 @@ func main() {
 	case *all:
 		for _, spec := range []bench.TableSpec{bench.TableI(), bench.TableII(), bench.TableIII()} {
 			spec.MaxCPUs = *maxCPUs
-			runTable(spec, *calibrate)
+			runTable(ctx, spec, *calibrate, reg)
 		}
 	case *tableN != 0:
 		var spec bench.TableSpec
@@ -81,9 +105,9 @@ func main() {
 			fatalf("unknown table %d (want 1, 2 or 3)", *tableN)
 		}
 		spec.MaxCPUs = *maxCPUs
-		runTable(spec, *calibrate)
+		runTable(ctx, spec, *calibrate, reg)
 	case *live:
-		runLive(*pfName, *n, *workers, *stratName, *batch)
+		runLive(ctx, *pfName, *n, *workers, *stratName, *batch, reg)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -95,7 +119,7 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func runTable(spec bench.TableSpec, calibrate bool) {
+func runTable(ctx context.Context, spec bench.TableSpec, calibrate bool, reg *telemetry.Registry) {
 	if calibrate {
 		fmt.Fprintln(os.Stderr, "calibrating per-class costs on this machine...")
 		if err := spec.Portfolio.CalibrateCosts(0.01); err != nil {
@@ -104,7 +128,7 @@ func runTable(spec bench.TableSpec, calibrate bool) {
 		fmt.Fprintf(os.Stderr, "calibrated total work: %.1f s\n", spec.Portfolio.TotalCost())
 	}
 	start := time.Now()
-	tbl, err := bench.RunTable(spec)
+	tbl, err := bench.RunTableContext(ctx, spec, reg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -146,13 +170,13 @@ func buildPortfolio(name string, n int) *portfolio.Portfolio {
 // runSelfTest is the live counterpart of the paper's §4.1 non-regression
 // runs: every registered pricing problem is farmed over local workers,
 // and per-method counts, timings and sanity checks are reported.
-func runSelfTest(workers int) {
+func runSelfTest(ctx context.Context, workers int, reg *telemetry.Registry) {
 	pf := portfolio.Regression()
 	tasks, err := pf.Tasks()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	opts := farm.Options{Strategy: farm.SerializedLoad}
+	opts := farm.Options{Strategy: farm.SerializedLoad, Telemetry: reg}
 	world := mpi.NewLocalWorld(workers + 1)
 	defer world.Close()
 	var wg sync.WaitGroup
@@ -166,7 +190,7 @@ func runSelfTest(workers int) {
 		}(r)
 	}
 	start := time.Now()
-	results, err := farm.RunMaster(world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
 	if err != nil {
 		fatalf("master: %v", err)
 	}
@@ -210,7 +234,7 @@ func runSelfTest(workers int) {
 	fmt.Println("\nall tests passed")
 }
 
-func runUtilization(pfName string, n int, stratName string, batch int) {
+func runUtilization(ctx context.Context, pfName string, n int, stratName string, batch int) {
 	strat := parseStrategy(stratName)
 	pf := buildPortfolio(pfName, n)
 	tasks, err := pf.Tasks()
@@ -225,7 +249,7 @@ func runUtilization(pfName string, n int, stratName string, batch int) {
 		if strat == farm.NFSLoad {
 			fatalf("utilization mode does not support the NFS strategy")
 		}
-		stats, err := bench.RunWithStats(rc)
+		stats, err := bench.RunWithStats(ctx, rc)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -234,7 +258,7 @@ func runUtilization(pfName string, n int, stratName string, batch int) {
 	}
 }
 
-func runLive(pfName string, n, workers int, stratName string, batch int) {
+func runLive(ctx context.Context, pfName string, n, workers int, stratName string, batch int, reg *telemetry.Registry) {
 	strat := parseStrategy(stratName)
 	pf := buildPortfolio(pfName, n)
 	tasks, err := pf.Tasks()
@@ -249,7 +273,7 @@ func runLive(pfName string, n, workers int, stratName string, batch int) {
 		}
 		store = ms
 	}
-	opts := farm.Options{Strategy: strat, BatchSize: batch}
+	opts := farm.Options{Strategy: strat, BatchSize: batch, Telemetry: reg}
 	world := mpi.NewLocalWorld(workers + 1)
 	defer world.Close()
 	var wg sync.WaitGroup
@@ -263,7 +287,7 @@ func runLive(pfName string, n, workers int, stratName string, batch int) {
 		}(r)
 	}
 	start := time.Now()
-	results, err := farm.RunMaster(world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
 	if err != nil {
 		fatalf("master: %v", err)
 	}

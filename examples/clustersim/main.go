@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	fmt.Printf("%8s %12s %10s\n", "CPUs", "Time (s)", "Speedup")
 	var t2 float64
 	for _, cpus := range []int{2, 16, 64, 256, 512} {
-		t, err := bench.Run(bench.RunConfig{Tasks: tasks, CPUs: cpus, Strategy: farm.SerializedLoad})
+		t, err := bench.Run(context.Background(), bench.RunConfig{Tasks: tasks, CPUs: cpus, Strategy: farm.SerializedLoad})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,13 +38,13 @@ func main() {
 	}
 
 	fmt.Println("\nFlat vs hierarchical master at 512 CPUs (8 sub-masters):")
-	flat, err := bench.Run(bench.RunConfig{Tasks: tasks, CPUs: 512, Strategy: farm.SerializedLoad})
+	flat, err := bench.Run(context.Background(), bench.RunConfig{Tasks: tasks, CPUs: 512, Strategy: farm.SerializedLoad})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Each sub-master owns ~62 workers and works one chunk at a time, so
 	// the chunk must exceed the group size to keep everyone busy.
-	hier, err := bench.Run(bench.RunConfig{
+	hier, err := bench.Run(context.Background(), bench.RunConfig{
 		Tasks: tasks, CPUs: 512, Strategy: farm.SerializedLoad,
 		Scheduler: bench.Hierarchical, Groups: 8, Chunk: 192,
 	})

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -48,7 +49,7 @@ func main() {
 			}(r)
 		}
 		start := time.Now()
-		results, err := farm.RunMaster(world.Comm(0), tasks, farm.LiveLoader{}, opts)
+		results, err := farm.RunMaster(context.Background(), world.Comm(0), tasks, farm.LiveLoader{}, opts)
 		if err != nil {
 			log.Fatalf("master (%v): %v", strat, err)
 		}

@@ -7,6 +7,7 @@ package riskbench_test
 // direct computation.
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"sync"
@@ -67,7 +68,7 @@ func TestEndToEndPaperPipeline(t *testing.T) {
 	if err := <-accepted; err != nil {
 		t.Fatal(err)
 	}
-	results, err := farm.RunMaster(hub, tasks, farm.LiveLoader{}, opts)
+	results, err := farm.RunMaster(context.Background(), hub, tasks, farm.LiveLoader{}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func benchRun(tasks []farm.Task, cpus int, strat farm.Strategy, fs *simnet.NFS) 
 	eng.Go("m", func(p *simnet.Proc) {
 		c := world.Comm(0)
 		c.Bind(p)
-		_, masterErr = farm.RunMaster(c, tasks, farm.SimLoader{Comm: c, Costs: costs}, opts)
+		_, masterErr = farm.RunMaster(context.Background(), c, tasks, farm.SimLoader{Comm: c, Costs: costs}, opts)
 	})
 	if err := eng.Run(); err != nil {
 		return 0, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -20,13 +21,13 @@ func uniformTasks(n int, cost float64) []farm.Task {
 
 func TestRunRejectsBadConfigs(t *testing.T) {
 	tasks := uniformTasks(10, 1)
-	if _, err := Run(RunConfig{Tasks: tasks, CPUs: 1, Strategy: farm.SerializedLoad}); err == nil {
+	if _, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 1, Strategy: farm.SerializedLoad}); err == nil {
 		t.Error("1 CPU accepted")
 	}
-	if _, err := Run(RunConfig{Tasks: tasks, CPUs: 4, Strategy: farm.NFSLoad}); err == nil {
+	if _, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 4, Strategy: farm.NFSLoad}); err == nil {
 		t.Error("NFS without FS accepted")
 	}
-	if _, err := Run(RunConfig{Tasks: tasks, CPUs: 5, Strategy: farm.SerializedLoad, Scheduler: Hierarchical, Groups: 4}); err == nil {
+	if _, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 5, Strategy: farm.SerializedLoad, Scheduler: Hierarchical, Groups: 4}); err == nil {
 		t.Error("hierarchy without enough CPUs accepted")
 	}
 }
@@ -35,11 +36,11 @@ func TestRunLinearRegime(t *testing.T) {
 	// Long tasks, few workers: near-perfect speedup ratio, like the top
 	// rows of every table.
 	tasks := uniformTasks(400, 1.0)
-	t2, err := Run(RunConfig{Tasks: tasks, CPUs: 2, Strategy: farm.SerializedLoad})
+	t2, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 2, Strategy: farm.SerializedLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t8, err := Run(RunConfig{Tasks: tasks, CPUs: 8, Strategy: farm.SerializedLoad})
+	t8, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 8, Strategy: farm.SerializedLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestSchedulingAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dyn, err := Run(RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad})
+	dyn, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := Run(RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, Scheduler: StaticBlock})
+	static, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, Scheduler: StaticBlock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestHierarchicalAblation(t *testing.T) {
 	// Communication-bound workload at high CPU counts: sub-masters relieve
 	// the root (the paper's proposed improvement).
 	tasks := uniformTasks(4000, 0.0)
-	flat, err := Run(RunConfig{Tasks: tasks, CPUs: 65, Strategy: farm.SerializedLoad})
+	flat, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 65, Strategy: farm.SerializedLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hier, err := Run(RunConfig{Tasks: tasks, CPUs: 65, Strategy: farm.SerializedLoad,
+	hier, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 65, Strategy: farm.SerializedLoad,
 		Scheduler: Hierarchical, Groups: 4, Chunk: 32})
 	if err != nil {
 		t.Fatal(err)
@@ -181,11 +182,11 @@ func TestHierarchicalAblation(t *testing.T) {
 
 func TestBatchingAblation(t *testing.T) {
 	tasks := uniformTasks(4000, 0.0)
-	single, err := Run(RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, BatchSize: 1})
+	single, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, BatchSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	batched, err := Run(RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, BatchSize: 25})
+	batched, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 17, Strategy: farm.SerializedLoad, BatchSize: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +197,11 @@ func TestBatchingAblation(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	tasks := uniformTasks(500, 0.02)
-	a, err := Run(RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.FullLoad})
+	a, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.FullLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.FullLoad})
+	b, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.FullLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +215,11 @@ func TestNFSClockResetAcrossRuns(t *testing.T) {
 	// model across engine runs must not stall the second run.
 	tasks := uniformTasks(200, 0.001)
 	fs := simnet.NewNFS(simnet.DefaultNFS)
-	t1, err := Run(RunConfig{Tasks: tasks, CPUs: 4, Strategy: farm.NFSLoad, FS: fs})
+	t1, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 4, Strategy: farm.NFSLoad, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := Run(RunConfig{Tasks: tasks, CPUs: 4, Strategy: farm.NFSLoad, FS: fs})
+	t2, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 4, Strategy: farm.NFSLoad, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,11 +269,11 @@ func TestCompressionAblation(t *testing.T) {
 	}
 	// On a bandwidth-starved link the compressed payloads win.
 	slow := simnet.LinkConfig{Latency: 80e-6, Bandwidth: 1e6, SendOverhead: 25e-6, RecvOverhead: 25e-6}
-	raw, err := Run(RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad, Link: slow})
+	raw, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad, Link: slow})
 	if err != nil {
 		t.Fatal(err)
 	}
-	comp, err := Run(RunConfig{Tasks: ctasks, CPUs: 9, Strategy: farm.SerializedLoad, Link: slow})
+	comp, err := Run(context.Background(), RunConfig{Tasks: ctasks, CPUs: 9, Strategy: farm.SerializedLoad, Link: slow})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,11 +284,11 @@ func TestCompressionAblation(t *testing.T) {
 
 func TestSlowNodesDegradeSpeedup(t *testing.T) {
 	tasks := uniformTasks(400, 0.5)
-	clean, err := Run(RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad})
+	clean, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hetero, err := Run(RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad,
+	hetero, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad,
 		SlowFraction: 0.5, SlowFactor: 0.5})
 	if err != nil {
 		t.Fatal(err)
@@ -301,7 +302,7 @@ func TestSlowNodesDegradeSpeedup(t *testing.T) {
 		t.Errorf("Robin Hood failed to adapt: %v vs clean %v", hetero, clean)
 	}
 	// Static assignment on the same heterogeneous cluster is hurt more.
-	static, err := Run(RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad,
+	static, err := Run(context.Background(), RunConfig{Tasks: tasks, CPUs: 9, Strategy: farm.SerializedLoad,
 		Scheduler: StaticBlock, SlowFraction: 0.5, SlowFactor: 0.5})
 	if err != nil {
 		t.Fatal(err)
@@ -314,7 +315,7 @@ func TestSlowNodesDegradeSpeedup(t *testing.T) {
 func TestRunWithStatsUtilization(t *testing.T) {
 	// Compute-bound run: workers near fully busy; master barely busy.
 	tasks := uniformTasks(400, 1.0)
-	stats, err := RunWithStats(RunConfig{Tasks: tasks, CPUs: 5, Strategy: farm.SerializedLoad})
+	stats, err := RunWithStats(context.Background(), RunConfig{Tasks: tasks, CPUs: 5, Strategy: farm.SerializedLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestRunWithStatsUtilization(t *testing.T) {
 	// Communication-bound run: workers mostly idle (the paper's "many
 	// nodes are waiting for some more work to do").
 	idleTasks := uniformTasks(2000, 0.0)
-	idle, err := RunWithStats(RunConfig{Tasks: idleTasks, CPUs: 33, Strategy: farm.SerializedLoad})
+	idle, err := RunWithStats(context.Background(), RunConfig{Tasks: idleTasks, CPUs: 33, Strategy: farm.SerializedLoad})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestRunWithStatsUtilization(t *testing.T) {
 }
 
 func TestRunWithStatsRejectsHierarchical(t *testing.T) {
-	if _, err := RunWithStats(RunConfig{Tasks: uniformTasks(5, 1), CPUs: 7, Scheduler: Hierarchical}); err == nil {
+	if _, err := RunWithStats(context.Background(), RunConfig{Tasks: uniformTasks(5, 1), CPUs: 7, Scheduler: Hierarchical}); err == nil {
 		t.Fatal("hierarchical accepted")
 	}
 }

@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"riskbench/internal/farm"
 	"riskbench/internal/simnet"
+	"riskbench/internal/telemetry"
 )
 
 // Scheduler selects the master's task-distribution policy.
@@ -65,6 +67,12 @@ type RunConfig struct {
 	// SlowFactor is the slow nodes' relative speed (default 0.5 when
 	// SlowFraction > 0).
 	SlowFactor float64
+	// Telemetry, when non-nil, receives the farm's per-task metrics for
+	// this run. The registry's clock is bound to the simulation's
+	// virtual clock for the duration of the run, so histograms and
+	// spans measure virtual seconds; reuse one registry per run, not
+	// across concurrent runs.
+	Telemetry *telemetry.Registry
 }
 
 func (rc RunConfig) withDefaults() RunConfig {
@@ -81,8 +89,10 @@ func (rc RunConfig) withDefaults() RunConfig {
 }
 
 // Run executes one simulated farm run and returns the virtual makespan in
-// seconds.
-func Run(rc RunConfig) (float64, error) {
+// seconds. Cancelling ctx stops the master from dispatching further
+// batches; the run then winds down cleanly and Run returns the context's
+// error.
+func Run(ctx context.Context, rc RunConfig) (float64, error) {
 	rc = rc.withDefaults()
 	if rc.CPUs < 2 {
 		return 0, fmt.Errorf("bench: need at least 2 CPUs, got %d", rc.CPUs)
@@ -97,9 +107,9 @@ func Run(rc RunConfig) (float64, error) {
 	}
 	switch rc.Scheduler {
 	case Hierarchical:
-		return runHierarchical(rc)
+		return runHierarchical(ctx, rc)
 	default:
-		t, _, err := runFlat(rc)
+		t, _, err := runFlat(ctx, rc)
 		return t, err
 	}
 }
@@ -121,7 +131,7 @@ type RunStats struct {
 
 // RunWithStats is Run for flat schedulers, additionally reporting
 // occupancy statistics.
-func RunWithStats(rc RunConfig) (RunStats, error) {
+func RunWithStats(ctx context.Context, rc RunConfig) (RunStats, error) {
 	rc = rc.withDefaults()
 	if rc.CPUs < 2 {
 		return RunStats{}, fmt.Errorf("bench: need at least 2 CPUs, got %d", rc.CPUs)
@@ -135,7 +145,7 @@ func RunWithStats(rc RunConfig) (RunStats, error) {
 	if rc.FS != nil {
 		rc.FS.ResetClock()
 	}
-	t, world, err := runFlat(rc)
+	t, world, err := runFlat(ctx, rc)
 	if err != nil {
 		return RunStats{}, err
 	}
@@ -168,12 +178,17 @@ func applySlowNodes(world *simnet.World, rc RunConfig) {
 	}
 }
 
-func runFlat(rc RunConfig) (float64, *simnet.World, error) {
+func runFlat(ctx context.Context, rc RunConfig) (float64, *simnet.World, error) {
 	eng := simnet.NewEngine()
 	workers := rc.CPUs - 1
 	world := simnet.NewWorld(eng, rc.CPUs, rc.Link)
 	applySlowNodes(world, rc)
-	opts := farm.Options{Strategy: rc.Strategy, BatchSize: rc.BatchSize}
+	if rc.Telemetry != nil {
+		// Farm durations and spans must be virtual seconds, not wall
+		// time: bind the registry to the simulation clock.
+		rc.Telemetry.SetClock(eng.Now)
+	}
+	opts := farm.Options{Strategy: rc.Strategy, BatchSize: rc.BatchSize, Telemetry: rc.Telemetry}
 	errs := make([]error, workers+1)
 	for r := 1; r <= workers; r++ {
 		rank := r
@@ -193,13 +208,18 @@ func runFlat(rc RunConfig) (float64, *simnet.World, error) {
 		loader := farm.SimLoader{Comm: c, Costs: rc.Costs}
 		var err error
 		if rc.Scheduler == StaticBlock {
-			_, err = farm.RunStaticMaster(c, rc.Tasks, loader, opts)
+			_, err = farm.RunStaticMaster(ctx, c, rc.Tasks, loader, opts)
 		} else {
-			_, err = farm.RunMaster(c, rc.Tasks, loader, opts)
+			_, err = farm.RunMaster(ctx, c, rc.Tasks, loader, opts)
 		}
 		errs[0] = err
 	})
 	if err := eng.Run(); err != nil {
+		// A cancelled master abandons the protocol, which the engine
+		// reports as a deadlock; surface the cancellation instead.
+		if ctx.Err() != nil {
+			return 0, nil, ctx.Err()
+		}
 		return 0, nil, err
 	}
 	for rank, err := range errs {
@@ -210,7 +230,7 @@ func runFlat(rc RunConfig) (float64, *simnet.World, error) {
 	return eng.Now(), world, nil
 }
 
-func runHierarchical(rc RunConfig) (float64, error) {
+func runHierarchical(ctx context.Context, rc RunConfig) (float64, error) {
 	groups := rc.Groups
 	if groups < 1 {
 		groups = 4
@@ -226,7 +246,10 @@ func runHierarchical(rc RunConfig) (float64, error) {
 	eng := simnet.NewEngine()
 	world := simnet.NewWorld(eng, size, rc.Link)
 	applySlowNodes(world, rc)
-	opts := farm.Options{Strategy: rc.Strategy, BatchSize: rc.BatchSize}
+	if rc.Telemetry != nil {
+		rc.Telemetry.SetClock(eng.Now)
+	}
+	opts := farm.Options{Strategy: rc.Strategy, BatchSize: rc.BatchSize, Telemetry: rc.Telemetry}
 	errs := make([]error, size)
 	for g := 0; g < groups; g++ {
 		sub := g + 1
@@ -256,9 +279,12 @@ func runHierarchical(rc RunConfig) (float64, error) {
 		c := world.Comm(0)
 		c.Bind(p)
 		loader := farm.SimLoader{Comm: c, Costs: rc.Costs}
-		_, errs[0] = farm.RunRootMaster(c, rc.Tasks, loader, opts, groups, chunk)
+		_, errs[0] = farm.RunRootMaster(ctx, c, rc.Tasks, loader, opts, groups, chunk)
 	})
 	if err := eng.Run(); err != nil {
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		return 0, err
 	}
 	for rank, err := range errs {

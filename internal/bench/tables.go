@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"riskbench/internal/farm"
 	"riskbench/internal/portfolio"
 	"riskbench/internal/simnet"
+	"riskbench/internal/telemetry"
 )
 
 // TableSpec describes one of the paper's tables: a workload swept over
@@ -39,12 +41,31 @@ type Cell struct {
 	Ratio float64
 }
 
+// StratReport is the telemetry of one (CPU count, strategy) run: the
+// task-latency quantiles of the farm and the occupancy of its nodes, in
+// virtual seconds. It is only collected when the sweep is given a
+// telemetry sink.
+type StratReport struct {
+	// TaskP50, TaskP95 and TaskP99 are quantiles of the per-task
+	// dispatch→result latency.
+	TaskP50, TaskP95, TaskP99 float64
+	// MasterBusy is the master's compute-occupied time.
+	MasterBusy float64
+	// WorkerUtilization is each worker's busy fraction of the makespan,
+	// by rank; MeanUtilization averages it.
+	WorkerUtilization []float64
+	MeanUtilization   float64
+}
+
 // Row is one CPU count's measurements across strategies.
 type Row struct {
 	// CPUs is the row's CPU count.
 	CPUs int
 	// Cells maps strategy → measurement.
 	Cells map[farm.Strategy]Cell
+	// Reports maps strategy → telemetry; nil unless the sweep ran with
+	// a telemetry sink.
+	Reports map[farm.Strategy]StratReport
 }
 
 // Table is a completed sweep.
@@ -94,8 +115,17 @@ func TableIII() TableSpec {
 	}
 }
 
-// RunTable executes the sweep.
+// RunTable executes the sweep without telemetry, as the paper does.
 func RunTable(spec TableSpec) (*Table, error) {
+	return RunTableContext(context.Background(), spec, nil)
+}
+
+// RunTableContext executes the sweep under a context. When sink is
+// non-nil, every (CPU count, strategy) run additionally collects task
+// latency and node occupancy into Row.Reports (rendered by Format), and
+// the per-run metrics are merged into sink under a
+// "<table>.<cpus>cpu.<strategy>." prefix.
+func RunTableContext(ctx context.Context, spec TableSpec, sink *telemetry.Registry) (*Table, error) {
 	tasks, err := spec.Portfolio.Tasks()
 	if err != nil {
 		return nil, err
@@ -110,17 +140,19 @@ func RunTable(spec TableSpec) (*Table, error) {
 		}
 		counts = trimmed
 	}
-	names := make([]string, len(tasks))
-	for i, t := range tasks {
-		names[i] = t.Name
-	}
 	table := &Table{Spec: spec}
 	baseline := map[farm.Strategy]float64{}
 	// Per-strategy persistent NFS when SharedNFS (warm across rows).
 	shared := map[farm.Strategy]*simnet.NFS{}
 	for _, n := range counts {
 		row := Row{CPUs: n, Cells: map[farm.Strategy]Cell{}}
+		if sink != nil {
+			row.Reports = map[farm.Strategy]StratReport{}
+		}
 		for _, strat := range spec.Strategies {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			var fs *simnet.NFS
 			if strat == farm.NFSLoad {
 				if spec.SharedNFS {
@@ -132,9 +164,33 @@ func RunTable(spec TableSpec) (*Table, error) {
 					fs = simnet.NewNFS(simnet.DefaultNFS)
 				}
 			}
-			t, err := Run(RunConfig{Tasks: tasks, CPUs: n, Strategy: strat, FS: fs})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s, %d CPUs, %v: %w", spec.Name, n, strat, err)
+			rc := RunConfig{Tasks: tasks, CPUs: n, Strategy: strat, FS: fs}
+			var t float64
+			if sink == nil {
+				t, err = Run(ctx, rc)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s, %d CPUs, %v: %w", spec.Name, n, strat, err)
+				}
+			} else {
+				// One fresh registry per run keeps rows and strategies
+				// from contaminating each other's histograms.
+				reg := telemetry.New()
+				rc.Telemetry = reg
+				stats, err := RunWithStats(ctx, rc)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s, %d CPUs, %v: %w", spec.Name, n, strat, err)
+				}
+				t = stats.Makespan
+				lat := reg.Histogram("farm.task_seconds")
+				row.Reports[strat] = StratReport{
+					TaskP50:           lat.Quantile(0.50),
+					TaskP95:           lat.Quantile(0.95),
+					TaskP99:           lat.Quantile(0.99),
+					MasterBusy:        stats.MasterBusy,
+					WorkerUtilization: stats.WorkerUtilization,
+					MeanUtilization:   stats.MeanUtilization,
+				}
+				sink.Merge(reg, fmt.Sprintf("%s.%dcpu.%s.", strings.ReplaceAll(strings.ToLower(spec.Name), " ", ""), n, strategySlug(strat)))
 			}
 			cell := Cell{Time: t}
 			if b, ok := baseline[strat]; ok {
@@ -148,6 +204,11 @@ func RunTable(spec TableSpec) (*Table, error) {
 		table.Rows = append(table.Rows, row)
 	}
 	return table, nil
+}
+
+// strategySlug is a metric-name-friendly strategy label.
+func strategySlug(s farm.Strategy) string {
+	return strings.ReplaceAll(s.String(), " ", "_")
 }
 
 // Format renders the table in the paper's layout: one row per CPU count
@@ -174,5 +235,65 @@ func (t *Table) Format() string {
 		}
 		b.WriteString("\n")
 	}
+	t.formatReports(&b)
 	return b.String()
+}
+
+// formatReports appends the per-sweep telemetry section: task-latency
+// quantiles and worker occupancy per (CPU count, strategy), collected
+// when the sweep ran with a telemetry sink.
+func (t *Table) formatReports(b *strings.Builder) {
+	any := false
+	for _, row := range t.Rows {
+		if len(row.Reports) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	b.WriteString("\ntelemetry: task latency and worker occupancy (virtual seconds)\n")
+	fmt.Fprintf(b, "%-8s%-18s%12s%12s%12s%13s%14s\n",
+		"CPUs", "strategy", "p50", "p95", "p99", "mean util", "master busy")
+	for _, row := range t.Rows {
+		for _, s := range t.Spec.Strategies {
+			r, ok := row.Reports[s]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(b, "%-8d%-18s%12.6f%12.6f%12.6f%12.1f%%%13.3fs\n",
+				row.CPUs, s.String(), r.TaskP50, r.TaskP95, r.TaskP99,
+				100*r.MeanUtilization, r.MasterBusy)
+		}
+	}
+	// Per-worker utilization of the largest run, the paper's "many
+	// nodes are waiting for some more work to do" view. Small worlds
+	// are listed rank by rank; large ones are summarized.
+	last := t.Rows[len(t.Rows)-1]
+	for _, s := range t.Spec.Strategies {
+		r, ok := last.Reports[s]
+		if !ok || len(r.WorkerUtilization) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "per-worker utilization @ %d CPUs, %s:", last.CPUs, s.String())
+		if len(r.WorkerUtilization) <= 16 {
+			for i, u := range r.WorkerUtilization {
+				fmt.Fprintf(b, " w%d=%.1f%%", i+1, 100*u)
+			}
+		} else {
+			min, max := r.WorkerUtilization[0], r.WorkerUtilization[0]
+			for _, u := range r.WorkerUtilization {
+				if u < min {
+					min = u
+				}
+				if u > max {
+					max = u
+				}
+			}
+			fmt.Fprintf(b, " min=%.1f%% mean=%.1f%% max=%.1f%% (%d workers)",
+				100*min, 100*r.MeanUtilization, 100*max, len(r.WorkerUtilization))
+		}
+		b.WriteString("\n")
+	}
 }

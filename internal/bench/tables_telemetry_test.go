@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"riskbench/internal/farm"
+	"riskbench/internal/portfolio"
+	"riskbench/internal/telemetry"
+)
+
+func smallSpec() TableSpec {
+	return TableSpec{
+		Name:       "Table T",
+		Caption:    "telemetry smoke sweep.",
+		Portfolio:  portfolio.Toy(200),
+		CPUCounts:  []int{2, 5},
+		Strategies: []farm.Strategy{farm.FullLoad, farm.SerializedLoad},
+	}
+}
+
+// TestRunTableContextReports checks that a sweep run with a telemetry
+// sink fills Row.Reports with task-latency quantiles and occupancy, and
+// merges the per-run metrics into the sink under the run prefix.
+func TestRunTableContextReports(t *testing.T) {
+	sink := telemetry.New()
+	tbl, err := RunTableContext(context.Background(), smallSpec(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		for _, s := range tbl.Spec.Strategies {
+			r, ok := row.Reports[s]
+			if !ok {
+				t.Fatalf("row %d CPUs: no report for %v", row.CPUs, s)
+			}
+			if r.TaskP50 <= 0 || r.TaskP95 < r.TaskP50 || r.TaskP99 < r.TaskP95 {
+				t.Errorf("%d CPUs %v: implausible quantiles p50=%v p95=%v p99=%v",
+					row.CPUs, s, r.TaskP50, r.TaskP95, r.TaskP99)
+			}
+			if len(r.WorkerUtilization) != row.CPUs-1 {
+				t.Errorf("%d CPUs %v: %d worker utilizations, want %d",
+					row.CPUs, s, len(r.WorkerUtilization), row.CPUs-1)
+			}
+			if r.MeanUtilization <= 0 || r.MeanUtilization > 1 {
+				t.Errorf("%d CPUs %v: mean utilization %v outside (0,1]", row.CPUs, s, r.MeanUtilization)
+			}
+		}
+	}
+	// The sink holds each run's metrics under its own prefix.
+	n := sink.Histogram("tablet.2cpu.full_load.farm.task_seconds").Count()
+	if n == 0 {
+		t.Error("sink missing merged farm.task_seconds for the 2-CPU full-load run")
+	}
+	if got := sink.Counter("tablet.5cpu.serialized_load.farm.tasks_completed").Value(); got == 0 {
+		t.Error("sink missing merged farm.tasks_completed for the 5-CPU serialized run")
+	}
+}
+
+// TestFormatIncludesTelemetryReport checks the human-readable rendering:
+// with a sink the formatted table carries per-strategy latency quantiles
+// and the per-worker utilization line; without one it stays as before.
+func TestFormatIncludesTelemetryReport(t *testing.T) {
+	sink := telemetry.New()
+	tbl, err := RunTableContext(context.Background(), smallSpec(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Format()
+	for _, want := range []string{
+		"telemetry: task latency and worker occupancy",
+		"p50", "p95", "p99", "mean util", "master busy",
+		"per-worker utilization @ 5 CPUs, serialized load:",
+		"w1=", "w4=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+
+	plain, err := RunTable(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.Format(), "telemetry:") {
+		t.Error("Format() without a sink should not carry the telemetry section")
+	}
+}
+
+// TestRunCancelled checks that a cancelled context aborts a simulated
+// run with the context's error rather than a deadlock report.
+func TestRunCancelled(t *testing.T) {
+	tasks, err := portfolio.Toy(50).Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, RunConfig{Tasks: tasks, CPUs: 4, Strategy: farm.SerializedLoad}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run returned %v, want context.Canceled", err)
+	}
+	if _, err := RunTableContext(ctx, smallSpec(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunTableContext returned %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -67,7 +68,7 @@ func runLocalFarm(t *testing.T, tasks []Task, workers int, opts Options, store S
 			}
 		}(r)
 	}
-	results, err := RunMaster(w.Comm(0), tasks, LiveLoader{}, opts)
+	results, err := RunMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, opts)
 	if err != nil {
 		t.Fatalf("master: %v", err)
 	}
@@ -190,7 +191,7 @@ func TestFarmUsesAllWorkers(t *testing.T) {
 func TestFarmNoWorkersError(t *testing.T) {
 	w := mpi.NewLocalWorld(1)
 	defer w.Close()
-	if _, err := RunMaster(w.Comm(0), nil, LiveLoader{}, Options{}); err == nil {
+	if _, err := RunMaster(context.Background(), w.Comm(0), nil, LiveLoader{}, Options{}); err == nil {
 		t.Fatal("master accepted a world without workers")
 	}
 }
@@ -200,7 +201,7 @@ func TestFarmNFSWithoutStoreFails(t *testing.T) {
 	tasks, _ := makePortfolio(t, 2)
 	masterErr := make(chan error, 1)
 	go func() {
-		_, err := RunMaster(w.Comm(0), tasks, LiveLoader{}, Options{Strategy: NFSLoad})
+		_, err := RunMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, Options{Strategy: NFSLoad})
 		masterErr <- err
 	}()
 	if err := RunWorker(w.Comm(1), LiveExecutor{}, nil, Options{Strategy: NFSLoad}); err == nil {
@@ -274,7 +275,7 @@ func TestFarmHierarchical(t *testing.T) {
 			}(wr, sub)
 		}
 	}
-	results, err := RunRootMaster(w.Comm(0), tasks, LiveLoader{}, opts, groups, 5)
+	results, err := RunRootMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, opts, groups, 5)
 	if err != nil {
 		t.Fatalf("root: %v", err)
 	}
@@ -316,7 +317,7 @@ func TestFarmHierarchicalNFS(t *testing.T) {
 			}(wr, sub)
 		}
 	}
-	results, err := RunRootMaster(w.Comm(0), tasks, LiveLoader{}, opts, groups, 4)
+	results, err := RunRootMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, opts, groups, 4)
 	if err != nil {
 		t.Fatalf("root: %v", err)
 	}
@@ -353,7 +354,7 @@ func TestFarmOverTCP(t *testing.T) {
 	if err := <-accepted; err != nil {
 		t.Fatal(err)
 	}
-	results, err := RunMaster(hub, tasks, LiveLoader{}, opts)
+	results, err := RunMaster(context.Background(), hub, tasks, LiveLoader{}, opts)
 	if err != nil {
 		t.Fatalf("master: %v", err)
 	}
@@ -456,7 +457,7 @@ func TestFarmNFSOverRealFiles(t *testing.T) {
 	if err := <-accepted; err != nil {
 		t.Fatal(err)
 	}
-	results, err := RunMaster(hub, pf, LiveLoader{}, opts)
+	results, err := RunMaster(context.Background(), hub, pf, LiveLoader{}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +477,7 @@ func TestFarmRejectsDuplicateNames(t *testing.T) {
 	w := mpi.NewLocalWorld(2)
 	defer w.Close()
 	tasks := []Task{{Name: "same", Data: []byte("a")}, {Name: "same", Data: []byte("b")}}
-	if _, err := RunMaster(w.Comm(0), tasks, LiveLoader{}, Options{Strategy: SerializedLoad}); err == nil {
+	if _, err := RunMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, Options{Strategy: SerializedLoad}); err == nil {
 		t.Fatal("duplicate task names accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"fmt"
 
 	"riskbench/internal/mpi"
@@ -45,8 +46,10 @@ func HierarchyWorkers(size, groups, g int) []int {
 
 // RunRootMaster distributes the tasks chunk-wise over the sub-masters
 // (ranks 1..groups) and returns all results. chunk is the number of tasks
-// per sub-master hand-off.
-func RunRootMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options, groups, chunk int) ([]Result, error) {
+// per sub-master hand-off. Cancellation follows RunMaster: drain
+// in-flight chunks, stop the sub-masters (which stop their workers),
+// return ctx.Err().
+func RunRootMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loader, opts Options, groups, chunk int) ([]Result, error) {
 	if chunk < 1 {
 		chunk = 1
 	}
@@ -54,8 +57,11 @@ func RunRootMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options, groups
 	for i := range subs {
 		subs[i] = i + 1
 	}
-	results, err := runBatches(c, subs, splitBatches(tasks, chunk), loader, opts)
+	results, err := runBatches(ctx, c, subs, splitBatches(tasks, chunk), loader, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			_ = sendStop(c, subs)
+		}
 		return nil, err
 	}
 	if err := sendStop(c, subs); err != nil {
@@ -113,7 +119,9 @@ func RunSubMaster(c mpi.Comm, workers []int, opts Options) error {
 				tasks[i].Data = make([]byte, int(sizes[i]))
 			}
 		}
-		res, err := runBatches(c, workers, splitBatches(tasks, 1), passLoader{}, opts)
+		// Sub-masters are driven by the root's stop message, not by a
+		// context of their own.
+		res, err := runBatches(context.Background(), c, workers, splitBatches(tasks, 1), passLoader{}, opts)
 		if err != nil {
 			return err
 		}

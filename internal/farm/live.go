@@ -3,6 +3,7 @@ package farm
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"riskbench/internal/nsp"
 	"riskbench/internal/premia"
@@ -39,7 +40,9 @@ func (LiveLoader) Load(t Task, s Strategy) ([]byte, error) {
 type LiveExecutor struct{}
 
 // Execute implements Executor: unserialize → rebuild the problem →
-// compute → result hash.
+// compute → result hash. The hash additionally carries the measured
+// compute wall time under "seconds", so masters can attribute timing to
+// task groups (the risk engine's per-scenario report reads it).
 func (LiveExecutor) Execute(name string, payload []byte, cost float64, size int) (nsp.Object, error) {
 	obj, err := nsp.SLoadBytes(payload).Unserialize()
 	if err != nil {
@@ -49,11 +52,14 @@ func (LiveExecutor) Execute(name string, payload []byte, cost float64, size int)
 	if err != nil {
 		return nil, fmt.Errorf("farm: rebuild problem %q: %w", name, err)
 	}
+	start := time.Now()
 	res, err := p.Compute()
 	if err != nil {
 		return nil, fmt.Errorf("farm: compute %q: %w", name, err)
 	}
-	return resultHash(name, res.Price, res.PriceCI, res.Delta, res.Work), nil
+	h := resultHash(name, res.Price, res.PriceCI, res.Delta, res.Work)
+	h.Set("seconds", nsp.Scalar(time.Since(start).Seconds()))
+	return h, nil
 }
 
 // FileStore reads problem files from the real file system (the live

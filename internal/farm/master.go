@@ -1,10 +1,13 @@
 package farm
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"riskbench/internal/mpi"
 	"riskbench/internal/nsp"
+	"riskbench/internal/telemetry"
 )
 
 // Loader abstracts the master-side preparation of a task's payload bytes
@@ -22,7 +25,12 @@ type Loader interface {
 // whichever worker answers first, and finally send each worker the empty
 // stop message. Workers are ranks 1..size-1. Results come back in
 // completion order.
-func RunMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]Result, error) {
+//
+// Cancelling ctx is cooperative: the master stops dispatching new
+// batches, drains the batches already in flight, stops the workers, and
+// returns ctx.Err(). Transport errors remain fatal and leave the
+// workers unstopped.
+func RunMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]Result, error) {
 	nw := c.Size() - 1
 	if nw < 1 {
 		return nil, fmt.Errorf("farm: world of size %d has no workers", c.Size())
@@ -40,8 +48,14 @@ func RunMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]Result,
 	for i := range workers {
 		workers[i] = i + 1
 	}
-	results, err := runBatches(c, workers, splitBatches(tasks, opts.batchSize()), loader, opts)
+	results, err := runBatches(ctx, c, workers, splitBatches(tasks, opts.batchSize()), loader, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancellation: the farm is quiescent, so stop the workers
+			// before reporting it (best effort — the transport may be
+			// part of what is being torn down).
+			_ = sendStop(c, workers)
+		}
 		return nil, err
 	}
 	if err := sendStop(c, workers); err != nil {
@@ -64,20 +78,24 @@ func splitBatches(tasks []Task, bs int) [][]Task {
 }
 
 // sendBatch ships one batch (descriptor, then payload list if the
-// strategy carries payloads) to a worker.
-func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, strat Strategy) error {
+// strategy carries payloads) to a worker, recording per-task payload
+// preparation time when telemetry is on.
+func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, opts Options) error {
+	reg := opts.Telemetry
 	if err := mpi.SendObj(c, encodeBatch(b), worker, TagTask); err != nil {
 		return fmt.Errorf("farm: send descriptor to %d: %w", worker, err)
 	}
-	if !strat.NeedsPayload() {
+	if !opts.Strategy.NeedsPayload() {
 		return nil
 	}
 	payload := nsp.NewList()
 	for _, t := range b {
-		data, err := loader.Load(t, strat)
+		start := reg.Now()
+		data, err := loader.Load(t, opts.Strategy)
 		if err != nil {
 			return fmt.Errorf("farm: load %q: %w", t.Name, err)
 		}
+		reg.Observe("farm.serialize_seconds", reg.Now()-start)
 		payload.Add(&nsp.Serial{Data: data})
 	}
 	if err := mpi.SendObj(c, payload, worker, TagPayload); err != nil {
@@ -116,36 +134,76 @@ func recvResults(c mpi.Comm, results []Result) ([]Result, int, error) {
 	return results, st.Source, nil
 }
 
+// queuedBatch is one batch awaiting dispatch plus its enqueue time on
+// the telemetry clock (0 when telemetry is off).
+type queuedBatch struct {
+	tasks    []Task
+	enqueued float64
+}
+
+// pendingBatch is one batch in flight on a worker: the tasks (for retry
+// matching), the dispatch time, and the per-task spans to close on
+// arrival of the results.
+type pendingBatch struct {
+	tasks  []Task
+	sentAt float64
+	spans  []*telemetry.Span
+}
+
 // runBatches Robin-Hoods the batches over the given worker ranks without
 // sending the final stop message, so callers can reuse the workers for
 // further rounds (the sub-master case). Failed tasks are re-queued as
 // single-task batches up to opts.MaxRetries attempts beyond the first;
 // tasks that exhaust their budget are reported with Err set.
-func runBatches(c mpi.Comm, workers []int, batches [][]Task, loader Loader, opts Options) ([]Result, error) {
-	queue := make([][]Task, len(batches))
-	copy(queue, batches)
+//
+// When opts.Telemetry is set, every task gets a "farm.task" span
+// (dispatch → results) under one "farm.run" root span, and the
+// queue-wait, serialize and task-latency histograms plus the per-worker
+// busy gauges are populated. Durations are read off the registry clock,
+// so simulated runs record virtual seconds.
+func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task, loader Loader, opts Options) ([]Result, error) {
+	reg := opts.Telemetry
+	runSpan := reg.StartSpan("farm.run")
+	defer runSpan.End()
+	queue := make([]queuedBatch, len(batches))
+	now := reg.Now()
+	for i, b := range batches {
+		queue[i] = queuedBatch{tasks: b, enqueued: now}
+	}
 	// assigned remembers which batch each worker is busy with, so failed
 	// task names can be matched back to their Task values for retry.
-	assigned := make(map[int][]Task, len(workers))
+	assigned := make(map[int]pendingBatch, len(workers))
 	attempts := make(map[string]int)
 	var results []Result
 	inflight := 0
 	send := func(w int) error {
-		b := queue[0]
+		qb := queue[0]
 		queue = queue[1:]
-		if err := sendBatch(c, w, b, loader, opts.Strategy); err != nil {
+		if err := sendBatch(c, w, qb.tasks, loader, opts); err != nil {
 			return err
 		}
-		assigned[w] = b
+		pb := pendingBatch{tasks: qb.tasks, sentAt: reg.Now()}
+		if reg != nil {
+			for range qb.tasks {
+				pb.spans = append(pb.spans, runSpan.StartChild("farm.task"))
+			}
+			wait := pb.sentAt - qb.enqueued
+			for range qb.tasks {
+				reg.Observe("farm.queue_wait_seconds", wait)
+			}
+		}
+		assigned[w] = pb
 		inflight++
 		return nil
 	}
-	for _, w := range workers {
-		if len(queue) == 0 {
-			break
-		}
-		if err := send(w); err != nil {
-			return nil, err
+	if ctx.Err() == nil {
+		for _, w := range workers {
+			if len(queue) == 0 {
+				break
+			}
+			if err := send(w); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for inflight > 0 {
@@ -156,20 +214,38 @@ func runBatches(c mpi.Comm, workers []int, batches [][]Task, loader Loader, opts
 		was := assigned[from]
 		delete(assigned, from)
 		inflight--
+		if reg != nil {
+			now := reg.Now()
+			busy := now - was.sentAt
+			rank := strconv.Itoa(from)
+			reg.Gauge("farm.worker." + rank + ".busy_seconds").Add(busy)
+			reg.Counter("farm.worker." + rank + ".tasks").Add(int64(len(was.tasks)))
+			for range was.tasks {
+				// Batch-mates share the round trip: the batch is the unit
+				// of dispatch, so its latency is every member's latency.
+				reg.Observe("farm.task_seconds", busy)
+			}
+			for _, sp := range was.spans {
+				sp.End()
+			}
+		}
 		for _, r := range batch {
 			if r.Err == nil {
+				reg.Counter("farm.tasks_completed").Add(1)
 				results = append(results, r)
 				continue
 			}
 			attempts[r.Name]++
 			if attempts[r.Name] > opts.MaxRetries {
+				reg.Counter("farm.task_errors").Add(1)
 				results = append(results, r)
 				continue
 			}
 			retried := false
-			for _, t := range was {
+			for _, t := range was.tasks {
 				if t.Name == r.Name {
-					queue = append(queue, []Task{t})
+					queue = append(queue, queuedBatch{tasks: []Task{t}, enqueued: reg.Now()})
+					reg.Counter("farm.retries").Add(1)
 					retried = true
 					break
 				}
@@ -180,11 +256,17 @@ func runBatches(c mpi.Comm, workers []int, batches [][]Task, loader Loader, opts
 				results = append(results, r)
 			}
 		}
+		if ctx.Err() != nil {
+			continue // cancelled: drain in-flight batches, dispatch nothing new
+		}
 		if len(queue) > 0 {
 			if err := send(from); err != nil {
 				return nil, err
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

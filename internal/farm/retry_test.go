@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -61,7 +62,7 @@ func runFlakyFarm(t *testing.T, exec Executor, n, workers int, opts Options) []R
 			}
 		}(r)
 	}
-	results, err := RunMaster(w.Comm(0), tasks, LiveLoader{}, opts)
+	results, err := RunMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, opts)
 	if err != nil {
 		t.Fatalf("master: %v", err)
 	}
@@ -187,7 +188,7 @@ func TestRetryInHierarchy(t *testing.T) {
 			}(wr, sub)
 		}
 	}
-	results, err := RunRootMaster(w.Comm(0), tasks, LiveLoader{}, opts, groups, 3)
+	results, err := RunRootMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, opts, groups, 3)
 	if err != nil {
 		t.Fatalf("root: %v", err)
 	}

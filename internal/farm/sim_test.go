@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -47,7 +48,7 @@ func runSimFarm(t *testing.T, tasks []Task, workers int, opts Options, link simn
 	eng.Go("master", func(p *simnet.Proc) {
 		c := world.Comm(0)
 		c.Bind(p)
-		results, masterErr = RunMaster(c, tasks, SimLoader{Comm: c, Costs: costs}, opts)
+		results, masterErr = RunMaster(context.Background(), c, tasks, SimLoader{Comm: c, Costs: costs}, opts)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatalf("simulation: %v", err)
@@ -218,7 +219,7 @@ func TestSimFarmHierarchicalCompletes(t *testing.T) {
 		c := world.Comm(0)
 		c.Bind(p)
 		var err error
-		results, err = RunRootMaster(c, tasks, SimLoader{Comm: c, Costs: costs}, opts, groups, 10)
+		results, err = RunRootMaster(context.Background(), c, tasks, SimLoader{Comm: c, Costs: costs}, opts, groups, 10)
 		if err != nil {
 			t.Errorf("sim root: %v", err)
 		}

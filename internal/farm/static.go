@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"fmt"
 
 	"riskbench/internal/mpi"
@@ -11,7 +12,9 @@ import (
 // ever receives its own pre-assigned tasks (one outstanding at a time, no
 // stealing). With heterogeneous task costs this strands work on slow
 // queues, which is exactly what the paper's dynamic strategy avoids.
-func RunStaticMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]Result, error) {
+// Cancellation follows RunMaster: drain in-flight batches, stop the
+// workers, return ctx.Err().
+func RunStaticMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]Result, error) {
 	nw := c.Size() - 1
 	if nw < 1 {
 		return nil, fmt.Errorf("farm: world of size %d has no workers", c.Size())
@@ -25,13 +28,15 @@ func RunStaticMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]R
 	pos := make([]int, nw)
 	inflight := 0
 	var results []Result
-	for w := 0; w < nw; w++ {
-		if len(queues[w]) > 0 {
-			if err := sendBatch(c, w+1, queues[w][0], loader, opts.Strategy); err != nil {
-				return nil, err
+	if ctx.Err() == nil {
+		for w := 0; w < nw; w++ {
+			if len(queues[w]) > 0 {
+				if err := sendBatch(c, w+1, queues[w][0], loader, opts); err != nil {
+					return nil, err
+				}
+				pos[w] = 1
+				inflight++
 			}
-			pos[w] = 1
-			inflight++
 		}
 	}
 	for inflight > 0 {
@@ -42,9 +47,12 @@ func RunStaticMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]R
 			return nil, err
 		}
 		inflight--
+		if ctx.Err() != nil {
+			continue // cancelled: drain only
+		}
 		q := from - 1
 		if pos[q] < len(queues[q]) {
-			if err := sendBatch(c, from, queues[q][pos[q]], loader, opts.Strategy); err != nil {
+			if err := sendBatch(c, from, queues[q][pos[q]], loader, opts); err != nil {
 				return nil, err
 			}
 			pos[q]++
@@ -56,6 +64,9 @@ func RunStaticMaster(c mpi.Comm, tasks []Task, loader Loader, opts Options) ([]R
 		workers[i] = i + 1
 	}
 	if err := sendStop(c, workers); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return results, nil

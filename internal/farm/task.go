@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"riskbench/internal/nsp"
+	"riskbench/internal/telemetry"
 )
 
 // Strategy selects how problems travel from master to worker; the values
@@ -91,6 +92,13 @@ type Options struct {
 	// back with Result.Err set. Transport and protocol errors are always
 	// fatal regardless of this setting.
 	MaxRetries int
+	// Telemetry, when non-nil, receives the farm's metrics and spans:
+	// queue-wait/serialize/task-latency histograms and per-task spans on
+	// the master, fetch/compute histograms and spans on workers, and
+	// per-worker busy gauges. Durations are read off the registry clock,
+	// so a registry bound to a simulation clock records virtual seconds.
+	// Nil (the default) disables instrumentation entirely.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) batchSize() int {

@@ -1,0 +1,137 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/telemetry"
+)
+
+// TestFarmTelemetrySpansMatchTasks runs a live farm with a telemetry
+// registry and checks the instrumentation's core invariant: one
+// "farm.task" span (master side) and one "farm.compute" span (worker
+// side) per task priced, all under a single "farm.run" root.
+func TestFarmTelemetrySpansMatchTasks(t *testing.T) {
+	const workers = 3
+	tasks, want := makePortfolio(t, 40)
+	reg := telemetry.New()
+	opts := Options{Strategy: SerializedLoad, BatchSize: 4, Telemetry: reg}
+	results := runLocalFarm(t, tasks, workers, opts, nil)
+	checkResults(t, results, want)
+
+	n := int64(len(tasks))
+	if got := reg.SpanCount("farm.run"); got != 1 {
+		t.Errorf("farm.run spans = %d, want 1", got)
+	}
+	if got := reg.SpanCount("farm.task"); got != n {
+		t.Errorf("farm.task spans = %d, want %d", got, n)
+	}
+	if got := reg.SpanCount("farm.compute"); got != n {
+		t.Errorf("farm.compute spans = %d, want %d", got, n)
+	}
+	if got := reg.Histogram("farm.task_seconds").Count(); got != n {
+		t.Errorf("farm.task_seconds count = %d, want %d", got, n)
+	}
+	if got := reg.Histogram("farm.queue_wait_seconds").Count(); got != n {
+		t.Errorf("farm.queue_wait_seconds count = %d, want %d", got, n)
+	}
+	if got := reg.Counter("farm.tasks_completed").Value(); got != n {
+		t.Errorf("farm.tasks_completed = %d, want %d", got, n)
+	}
+	if got := reg.Counter("farm.task_errors").Value(); got != 0 {
+		t.Errorf("farm.task_errors = %d, want 0", got)
+	}
+	var perWorker int64
+	for r := 1; r <= workers; r++ {
+		perWorker += reg.Counter("farm.worker." + strconv.Itoa(r) + ".tasks").Value()
+	}
+	if perWorker != n {
+		t.Errorf("per-worker task counters sum to %d, want %d", perWorker, n)
+	}
+
+	// Every finished farm.task span must link to the farm.run root.
+	var runID uint64
+	for _, rec := range reg.FinishedSpans() {
+		if rec.Name == "farm.run" {
+			runID = rec.ID
+		}
+	}
+	if runID == 0 {
+		t.Fatal("no finished farm.run span recorded")
+	}
+	taskSpans := 0
+	for _, rec := range reg.FinishedSpans() {
+		if rec.Name != "farm.task" {
+			continue
+		}
+		taskSpans++
+		if rec.ParentID != runID {
+			t.Fatalf("farm.task span %d has parent %d, want farm.run %d", rec.ID, rec.ParentID, runID)
+		}
+		if rec.End < rec.Start {
+			t.Fatalf("farm.task span %d ends (%v) before it starts (%v)", rec.ID, rec.End, rec.Start)
+		}
+	}
+	if int64(taskSpans) != n {
+		t.Errorf("finished farm.task records = %d, want %d", taskSpans, n)
+	}
+}
+
+// TestFarmMasterCancelled checks the cooperative-cancellation contract: a
+// cancelled master dispatches nothing, still stops its workers (so they
+// exit cleanly), and reports the context's error.
+func TestFarmMasterCancelled(t *testing.T) {
+	const workers = 2
+	tasks, _ := makePortfolio(t, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := mpi.NewLocalWorld(workers + 1)
+	defer w.Close()
+	opts := Options{Strategy: SerializedLoad}
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := RunWorker(w.Comm(rank), LiveExecutor{}, nil, opts); err != nil {
+				t.Errorf("worker %d: %v", rank, err)
+			}
+		}(r)
+	}
+	_, err := RunMaster(ctx, w.Comm(0), tasks, LiveLoader{}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled master returned %v, want context.Canceled", err)
+	}
+	wg.Wait() // workers must have received the stop message
+}
+
+// TestStaticMasterCancelled is the same contract for the static ablation
+// scheduler.
+func TestStaticMasterCancelled(t *testing.T) {
+	const workers = 2
+	tasks, _ := makePortfolio(t, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := mpi.NewLocalWorld(workers + 1)
+	defer w.Close()
+	opts := Options{Strategy: SerializedLoad}
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := RunWorker(w.Comm(rank), LiveExecutor{}, nil, opts); err != nil {
+				t.Errorf("worker %d: %v", rank, err)
+			}
+		}(r)
+	}
+	_, err := RunStaticMaster(ctx, w.Comm(0), tasks, LiveLoader{}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled static master returned %v, want context.Canceled", err)
+	}
+	wg.Wait()
+}

@@ -28,9 +28,13 @@ type Store interface {
 
 // RunWorker runs the Fig. 4 slave loop: receive a batch, fetch or unpack
 // its payloads, price every task, send the result list back, repeat until
-// the empty stop message arrives.
+// the empty stop message arrives. With opts.Telemetry set, payload
+// fetches and per-task computations are timed into the
+// "farm.fetch_seconds" and "farm.compute_seconds" histograms, each
+// computation under a "farm.compute" span.
 func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 	master := opts.MasterRank
+	reg := opts.Telemetry
 	for {
 		obj, _, err := mpi.RecvObj(c, master, TagTask)
 		if err != nil {
@@ -44,6 +48,7 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 			return nil // stop message
 		}
 		payloads := make([][]byte, len(names))
+		fetchStart := reg.Now()
 		if opts.Strategy.NeedsPayload() {
 			pobj, _, err := mpi.RecvObj(c, master, TagPayload)
 			if err != nil {
@@ -72,9 +77,14 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 				payloads[i] = data
 			}
 		}
+		reg.Observe("farm.fetch_seconds", reg.Now()-fetchStart)
 		out := nsp.NewList()
 		for i, name := range names {
+			span := reg.StartSpan("farm.compute")
+			start := reg.Now()
 			res, err := exec.Execute(name, payloads[i], costs[i], int(sizes[i]))
+			reg.Observe("farm.compute_seconds", reg.Now()-start)
+			span.End()
 			if err != nil {
 				// A pricing failure is the task's problem, not the
 				// worker's: report it and keep serving (the master decides

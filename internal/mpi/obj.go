@@ -41,13 +41,20 @@ func (b *Buf) Unpack() (nsp.Object, error) {
 // second encoding pass, which is what makes the serialized-load strategy
 // cheap on the master.
 func SendObj(c Comm, o nsp.Object, dest, tag int) error {
+	reg := sink.Load()
 	if s, ok := o.(*nsp.Serial); ok && !s.Compressed {
 		// The serial already holds a full stream: ship it as-is.
+		countMsg(reg, c.Rank(), "sent", len(s.Data))
 		return c.Send(s.Data, dest, tag)
 	}
+	start := reg.Now()
 	s, err := nsp.Serialize(o)
 	if err != nil {
 		return fmt.Errorf("mpi: send obj: %w", err)
+	}
+	if reg != nil {
+		reg.Observe("mpi.pack_seconds", reg.Now()-start)
+		countMsg(reg, c.Rank(), "sent", len(s.Data))
 	}
 	return c.Send(s.Data, dest, tag)
 }
@@ -60,6 +67,9 @@ func RecvObj(c Comm, source, tag int) (nsp.Object, Status, error) {
 	if err != nil {
 		return nil, st, err
 	}
+	reg := sink.Load()
+	countMsg(reg, c.Rank(), "recv", len(data))
+	start := reg.Now()
 	o, err := nsp.SLoadBytes(data).Unserialize()
 	if err != nil {
 		return nil, st, fmt.Errorf("mpi: recv obj: %w", err)
@@ -70,6 +80,9 @@ func RecvObj(c Comm, source, tag int) (nsp.Object, Status, error) {
 			return nil, st, fmt.Errorf("mpi: recv obj unseal: %w", err)
 		}
 		o = inner
+	}
+	if reg != nil {
+		reg.Observe("mpi.unpack_seconds", reg.Now()-start)
 	}
 	return o, st, nil
 }

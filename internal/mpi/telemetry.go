@@ -1,0 +1,37 @@
+package mpi
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"riskbench/internal/telemetry"
+)
+
+// sink is the package-level telemetry registry. SendObj and RecvObj are
+// free functions mirroring the MPI_Send_Obj/MPI_Recv_Obj primitives and
+// take no registry parameter, so instrumentation is wired through this
+// process-wide sink; nil (the default) disables it.
+var sink atomic.Pointer[telemetry.Registry]
+
+// SetTelemetry installs the registry receiving message-layer metrics:
+// "mpi.msgs_sent"/"mpi.bytes_sent"/"mpi.msgs_recv"/"mpi.bytes_recv"
+// counters (aggregate and per local rank as "mpi.rank<N>.*") and
+// "mpi.pack_seconds"/"mpi.unpack_seconds" serialization histograms. Pass
+// nil to disable. Typically wired through the riskbench façade's
+// SetTelemetry.
+func SetTelemetry(r *telemetry.Registry) {
+	sink.Store(r)
+}
+
+// countMsg records one object-level message of n bytes in direction dir
+// ("sent" or "recv") at the given local rank.
+func countMsg(reg *telemetry.Registry, rank int, dir string, n int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("mpi.msgs_" + dir).Add(1)
+	reg.Counter("mpi.bytes_" + dir).Add(int64(n))
+	pre := "mpi.rank" + strconv.Itoa(rank) + "."
+	reg.Counter(pre + "msgs_" + dir).Add(1)
+	reg.Counter(pre + "bytes_" + dir).Add(int64(n))
+}

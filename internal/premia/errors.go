@@ -1,0 +1,21 @@
+package premia
+
+import "errors"
+
+// Sentinel errors of the pricing layer. Validation failures wrap these, so
+// callers can classify failures with errors.Is across the farm boundary's
+// fmt.Errorf chains — e.g. to tell a misconfigured portfolio (unknown
+// method) from a data problem (missing parameter).
+var (
+	// ErrUnknownMethod marks a method name absent from the registry.
+	ErrUnknownMethod = errors.New("premia: unknown method")
+	// ErrUnknownModel marks a model the selected method does not support
+	// (or an asset-class mismatch between problem and method).
+	ErrUnknownModel = errors.New("premia: unknown model")
+	// ErrUnknownOption marks an option the selected method does not
+	// support.
+	ErrUnknownOption = errors.New("premia: unknown option")
+	// ErrMissingParam marks a required numeric parameter absent from the
+	// problem's parameter table.
+	ErrMissingParam = errors.New("premia: missing parameter")
+)

@@ -1,0 +1,56 @@
+package premia
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSentinelErrors checks that validation failures surfaced through
+// Problem.Compute classify with errors.Is despite the wrapping chains.
+func TestSentinelErrors(t *testing.T) {
+	base := func() *Problem {
+		return New().
+			SetModel(ModelBS1D).SetOption(OptCallEuro).SetMethod(MethodCFCall).
+			Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).Set("K", 100).Set("T", 1)
+	}
+
+	if _, err := base().Compute(); err != nil {
+		t.Fatalf("baseline problem failed: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mod  func(*Problem) *Problem
+		want error
+	}{
+		{"unknown method", func(p *Problem) *Problem { return p.SetMethod("no_such_method") }, ErrUnknownMethod},
+		{"unsupported model", func(p *Problem) *Problem { return p.SetModel(ModelHeston) }, ErrUnknownModel},
+		{"asset mismatch", func(p *Problem) *Problem { return p.SetAsset(AssetRate) }, ErrUnknownModel},
+		{"unsupported option", func(p *Problem) *Problem { return p.SetOption(OptPutAmer) }, ErrUnknownOption},
+	}
+	for _, tc := range cases {
+		_, err := tc.mod(base()).Compute()
+		if err == nil {
+			t.Errorf("%s: Compute succeeded, want error", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: errors.Is(%v, %v) = false", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMissingParamSentinel checks that a required parameter absent from
+// the table surfaces as ErrMissingParam through the method body.
+func TestMissingParamSentinel(t *testing.T) {
+	p := New().
+		SetModel(ModelBS1D).SetOption(OptCallEuro).SetMethod(MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).Set("T", 1) // no strike K
+	_, err := p.Compute()
+	if err == nil {
+		t.Fatal("Compute without K succeeded, want error")
+	}
+	if !errors.Is(err, ErrMissingParam) {
+		t.Fatalf("errors.Is(%v, ErrMissingParam) = false", err)
+	}
+}

@@ -27,11 +27,12 @@ func (p Params) Get(key string, fallback float64) float64 {
 	return fallback
 }
 
-// Need returns the value for key or an error naming the missing parameter.
+// Need returns the value for key or an error naming the missing
+// parameter, wrapping ErrMissingParam for errors.Is.
 func (p Params) Need(key string) (float64, error) {
 	v, ok := p[key]
 	if !ok {
-		return 0, fmt.Errorf("premia: missing parameter %q", key)
+		return 0, fmt.Errorf("%w %q", ErrMissingParam, key)
 	}
 	return v, nil
 }

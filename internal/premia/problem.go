@@ -86,20 +86,21 @@ func (p *Problem) String() string {
 }
 
 // Validate checks that the triple is registered and compatible, without
-// computing anything.
+// computing anything. Failures wrap the package's sentinel errors
+// (ErrUnknownMethod, ErrUnknownModel, ErrUnknownOption) for errors.Is.
 func (p *Problem) Validate() error {
 	spec, ok := methods[p.Method]
 	if !ok {
-		return fmt.Errorf("premia: unknown method %q", p.Method)
+		return fmt.Errorf("%w %q", ErrUnknownMethod, p.Method)
 	}
 	if spec.asset != p.Asset {
-		return fmt.Errorf("premia: method %q belongs to asset class %q, problem says %q", p.Method, spec.asset, p.Asset)
+		return fmt.Errorf("%w: method %q belongs to asset class %q, problem says %q", ErrUnknownModel, p.Method, spec.asset, p.Asset)
 	}
 	if !spec.models[p.Model] {
-		return fmt.Errorf("premia: method %q does not support model %q", p.Method, p.Model)
+		return fmt.Errorf("%w: method %q does not support model %q", ErrUnknownModel, p.Method, p.Model)
 	}
 	if !spec.options[p.Option] {
-		return fmt.Errorf("premia: method %q does not support option %q", p.Method, p.Option)
+		return fmt.Errorf("%w: method %q does not support option %q", ErrUnknownOption, p.Method, p.Option)
 	}
 	return nil
 }
@@ -108,9 +109,15 @@ func (p *Problem) Validate() error {
 // the P.compute[] of the paper's scripts.
 func (p *Problem) Compute() (Result, error) {
 	if err := p.Validate(); err != nil {
+		countError()
 		return Result{}, err
 	}
-	return methods[p.Method].fn(p)
+	res, err := instrument(p.Method, methods[p.Method].fn, p)
+	if err != nil {
+		countError()
+		return Result{}, err
+	}
+	return res, nil
 }
 
 // errNil guards the nsp bridge against nil receivers.

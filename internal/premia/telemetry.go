@@ -1,0 +1,43 @@
+package premia
+
+import (
+	"sync/atomic"
+
+	"riskbench/internal/telemetry"
+)
+
+// sink is the package-level telemetry registry. Compute takes no registry
+// parameter (it mirrors Premia's P.compute[]), so instrumentation is wired
+// through this process-wide sink instead; nil (the default) disables it.
+var sink atomic.Pointer[telemetry.Registry]
+
+// SetTelemetry installs the registry receiving per-method compute timings
+// and throughput. Pass nil to disable. Typically wired through the
+// riskbench façade's SetTelemetry.
+func SetTelemetry(r *telemetry.Registry) {
+	sink.Store(r)
+}
+
+// countError increments the pricing-error counter (no-op without a sink).
+func countError() {
+	sink.Load().Counter("premia.errors").Add(1)
+}
+
+// instrument runs fn under the sink's per-method metrics:
+// "premia.compute_seconds.<method>" latency histogram, "premia.computes"
+// counter, and "premia.work_units.<method>" cumulative work gauge (the
+// method's abstract operation count, the simulator's cost currency).
+func instrument(method string, fn func(*Problem) (Result, error), p *Problem) (Result, error) {
+	reg := sink.Load()
+	if reg == nil {
+		return fn(p)
+	}
+	start := reg.Now()
+	res, err := fn(p)
+	reg.Observe("premia.compute_seconds."+method, reg.Now()-start)
+	reg.Counter("premia.computes").Add(1)
+	if err == nil {
+		reg.Gauge("premia.work_units." + method).Add(res.Work)
+	}
+	return res, err
+}

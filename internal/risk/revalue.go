@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"riskbench/internal/nsp"
 	"riskbench/internal/portfolio"
 	"riskbench/internal/premia"
+	"riskbench/internal/telemetry"
 )
 
 // Engine revalues portfolios under scenarios on a live local farm.
@@ -20,6 +22,11 @@ type Engine struct {
 	// bunching the paper's conclusion recommends, which matters here
 	// because scenario grids multiply the task count).
 	BatchSize int
+	// Telemetry, when non-nil, receives the revaluation's metrics: the
+	// farm's task histograms and spans, phase spans
+	// (risk.build/risk.farm/risk.scatter under risk.revalue), task and
+	// scenario counters, and per-scenario work-unit gauges.
+	Telemetry *telemetry.Registry
 }
 
 func (e Engine) workers() int {
@@ -106,6 +113,17 @@ func taskName(scenario int, item string) string {
 // scenario, farming the scenario×claim cross product over live workers —
 // the paper's "huge number of atomic computations" pipeline in miniature.
 func (e Engine) Revalue(pf *portfolio.Portfolio, scenarios []Scenario) (*Valuation, error) {
+	return e.RevalueContext(context.Background(), pf, scenarios)
+}
+
+// RevalueContext is Revalue under a context. Cancellation is enforced
+// two ways: the master stops dispatching cooperatively, and the local
+// MPI world is closed so blocked workers unblock immediately; the
+// context's error is returned.
+func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, scenarios []Scenario) (*Valuation, error) {
+	reg := e.Telemetry
+	revSpan := reg.StartSpan("risk.revalue")
+	defer revSpan.End()
 	val := &Valuation{
 		Scenarios: scenarios,
 		Items:     make([]string, len(pf.Items)),
@@ -122,6 +140,7 @@ func (e Engine) Revalue(pf *portfolio.Portfolio, scenarios []Scenario) (*Valuati
 	}
 
 	// Build the cross product of tasks.
+	buildSpan := revSpan.StartChild("risk.build")
 	var tasks []farm.Task
 	addTask := func(scIdx int, item portfolio.Item, p *premia.Problem) error {
 		h, err := p.ToNsp()
@@ -161,10 +180,20 @@ func (e Engine) Revalue(pf *portfolio.Portfolio, scenarios []Scenario) (*Valuati
 		}
 	}
 
+	buildSpan.End()
+	reg.Counter("risk.tasks").Add(int64(len(tasks)))
+	reg.Counter("risk.scenarios").Add(int64(len(scenarios)))
+
 	// Farm them over live workers.
-	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch()}
+	farmSpan := revSpan.StartChild("risk.farm")
+	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg}
 	world := mpi.NewLocalWorld(e.workers() + 1)
 	defer world.Close()
+	// Hard cancellation: closing the world makes every blocked Probe,
+	// Recv and Send return ErrClosed, so cancellation does not have to
+	// wait for in-flight batches to finish pricing.
+	stopCancel := context.AfterFunc(ctx, func() { world.Close() })
+	defer stopCancel()
 	var wg sync.WaitGroup
 	workerErrs := make([]error, e.workers()+1)
 	for r := 1; r <= e.workers(); r++ {
@@ -174,8 +203,14 @@ func (e Engine) Revalue(pf *portfolio.Portfolio, scenarios []Scenario) (*Valuati
 			workerErrs[rank] = farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, opts)
 		}(r)
 	}
-	results, err := farm.RunMaster(world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	farmSpan.End()
 	if err != nil {
+		if ctx.Err() != nil {
+			world.Close() // unblock any workers still waiting
+			wg.Wait()
+			return nil, fmt.Errorf("risk: revaluation cancelled: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("risk: revaluation farm: %w", err)
 	}
 	wg.Wait()
@@ -186,6 +221,8 @@ func (e Engine) Revalue(pf *portfolio.Portfolio, scenarios []Scenario) (*Valuati
 	}
 
 	// Scatter results back into the valuation matrix.
+	scatterSpan := revSpan.StartChild("risk.scatter")
+	defer scatterSpan.End()
 	for _, r := range results {
 		price, ok := farm.ResultField(r, "price")
 		if !ok {
@@ -201,6 +238,20 @@ func (e Engine) Revalue(pf *portfolio.Portfolio, scenarios []Scenario) (*Valuati
 		i, ok := index[item]
 		if !ok {
 			return nil, fmt.Errorf("risk: result for unknown claim %q", item)
+		}
+		// Per-scenario revaluation timing: workers report each task's
+		// measured compute time under "seconds" (tasks of one scenario are
+		// interleaved across workers, so this is the only place the
+		// attribution can happen).
+		if reg != nil {
+			label := "base"
+			if scIdx > 0 {
+				label = scenarios[scIdx-1].Name
+			}
+			if secs, ok := farm.ResultField(r, "seconds"); ok {
+				reg.Observe("risk.scenario_seconds."+label, secs)
+			}
+			reg.Counter("risk.scenario_results." + label).Add(1)
 		}
 		if scIdx == 0 {
 			val.Base[i] = price

@@ -1,0 +1,20 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry's snapshot as indented JSON, in the
+// spirit of expvar's /debug/vars. Wire it wherever convenient:
+//
+//	http.ListenAndServe(addr, telemetry.Handler(reg))
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding a fresh snapshot never fails; ignore client aborts.
+		_ = enc.Encode(r.Snapshot())
+	})
+}

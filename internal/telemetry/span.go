@@ -1,0 +1,67 @@
+package telemetry
+
+// Span is one timed region of work. Spans form trees via StartChild;
+// finishing a span records its duration under "span.<name>" and files a
+// SpanRecord carrying the parent link. A nil *Span is a valid no-op, so
+// instrumented code can start spans unconditionally.
+type Span struct {
+	reg      *Registry
+	id       uint64
+	parentID uint64
+	name     string
+	start    float64
+	ended    bool
+}
+
+// SpanRecord is a finished span as retained by the registry ring.
+type SpanRecord struct {
+	// ID is unique within the registry; ParentID is 0 for roots.
+	ID, ParentID uint64
+	// Name is the span name given to StartSpan/StartChild.
+	Name string
+	// Start and End are registry-clock readings in seconds.
+	Start, End float64
+}
+
+// StartSpan opens a root span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, id: r.spanID.Add(1), name: name, start: r.Now()}
+}
+
+// StartChild opens a child span under s.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	r := s.reg
+	return &Span{reg: r, id: r.spanID.Add(1), parentID: s.id, name: name, start: r.Now()}
+}
+
+// ID returns the span's registry-unique ID (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// End finishes the span and records it; extra calls are ignored. Spans
+// are not goroutine-safe: one goroutine owns a span.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.reg.recordSpan(SpanRecord{ID: s.id, ParentID: s.parentID, Name: s.name, Start: s.start, End: s.reg.Now()})
+}

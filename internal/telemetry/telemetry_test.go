@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Counter("c").Add(4)
+	if got := r.Counter("c").Value(); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(2.5)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Add(1)
+	r.Observe("h", 1)
+	r.SetClock(func() float64 { return 1 })
+	sp := r.StartSpan("s")
+	sp.StartChild("t").End()
+	sp.End()
+	if n := r.SpanCount("s"); n != 0 {
+		t.Errorf("nil registry counted %d spans", n)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// TestHistogramQuantilesConcurrent drives many writers into one
+// histogram and checks the quantile estimates against the exact values
+// of the written distribution, within the bucket scheme's relative
+// error. Run with -race, per the telemetry test plan.
+func TestHistogramQuantilesConcurrent(t *testing.T) {
+	h := new(Histogram)
+	const writers = 8
+	const perWriter = 5000
+	// Deterministic values: v(i) spread log-uniformly over ~4 decades.
+	value := func(i int) float64 {
+		return 1e-6 * math.Pow(10, 4*float64(i)/float64(perWriter))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(value(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Count(), int64(writers*perWriter); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	// Every writer wrote the same values, so the q-quantile of the
+	// histogram is the q-quantile of value(0..perWriter-1).
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := value(int(q * (perWriter - 1)))
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.10 {
+			t.Errorf("q%.0f = %g, want ≈%g (rel err %.3f)", q*100, got, exact, rel)
+		}
+	}
+	if h.Min() > h.Quantile(0.5) || h.Max() < h.Quantile(0.99) {
+		t.Errorf("min %g / max %g inconsistent with quantiles", h.Min(), h.Max())
+	}
+	sumExact := 0.0
+	for i := 0; i < perWriter; i++ {
+		sumExact += value(i)
+	}
+	sumExact *= writers
+	if rel := math.Abs(h.Sum()-sumExact) / sumExact; rel > 1e-6 {
+		t.Errorf("sum = %g, want %g", h.Sum(), sumExact)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := new(Histogram)
+	h.Observe(0)
+	h.Observe(-1) // clamped into the underflow bucket
+	h.Observe(1e9)
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	if h.Min() != -1 {
+		t.Errorf("min = %v, want -1", h.Min())
+	}
+	if h.Max() != 1e9 {
+		t.Errorf("max = %v, want 1e9", h.Max())
+	}
+	if q := h.Quantile(0.0); q > histLo {
+		t.Errorf("q0 = %g, want underflow bucket", q)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := New()
+	now := 0.0
+	r.SetClock(func() float64 { now += 1; return now })
+	root := r.StartSpan("sweep")
+	child := root.StartChild("task")
+	grand := child.StartChild("compute")
+	grand.End()
+	child.End()
+	root.End()
+	recs := r.FinishedSpans()
+	if len(recs) != 3 {
+		t.Fatalf("%d finished spans, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, rec := range recs {
+		byName[rec.Name] = rec
+	}
+	if byName["task"].ParentID != byName["sweep"].ID {
+		t.Errorf("task parent = %d, want sweep ID %d", byName["task"].ParentID, byName["sweep"].ID)
+	}
+	if byName["compute"].ParentID != byName["task"].ID {
+		t.Errorf("compute parent = %d, want task ID %d", byName["compute"].ParentID, byName["task"].ID)
+	}
+	if byName["sweep"].ParentID != 0 {
+		t.Errorf("sweep parent = %d, want 0 (root)", byName["sweep"].ParentID)
+	}
+	for _, rec := range recs {
+		if rec.End <= rec.Start {
+			t.Errorf("span %s has End %v <= Start %v", rec.Name, rec.End, rec.Start)
+		}
+	}
+	if n := r.SpanCount("task"); n != 1 {
+		t.Errorf("task span count = %d, want 1", n)
+	}
+	// Durations land in the span histogram too.
+	if c := r.Histogram("span.compute").Count(); c != 1 {
+		t.Errorf("span.compute histogram count = %d, want 1", c)
+	}
+	// Double End is a no-op.
+	root.End()
+	if n := r.SpanCount("sweep"); n != 1 {
+		t.Errorf("sweep counted %d after double End", n)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b, sink := New(), New(), New()
+	a.Counter("tasks").Add(2)
+	a.Observe("lat", 0.5)
+	a.Gauge("util").Set(0.9)
+	a.StartSpan("run").End()
+	b.Counter("tasks").Add(3)
+	b.Observe("lat", 1.5)
+	sink.Merge(a, "s1.")
+	sink.Merge(b, "s1.")
+	if got := sink.Counter("s1.tasks").Value(); got != 5 {
+		t.Errorf("merged counter = %d, want 5", got)
+	}
+	h := sink.Histogram("s1.lat")
+	if h.Count() != 2 || h.Min() != 0.5 || h.Max() != 1.5 {
+		t.Errorf("merged hist count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+	if got := sink.Gauge("s1.util").Value(); got != 0.9 {
+		t.Errorf("merged gauge = %v", got)
+	}
+	if got := sink.SpanCount("s1.run"); got != 1 {
+		t.Errorf("merged span count = %d", got)
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	r := New()
+	vt := 10.0
+	r.SetClock(func() float64 { return vt })
+	sp := r.StartSpan("virt")
+	vt = 12.5
+	sp.End()
+	recs := r.FinishedSpans()
+	if len(recs) != 1 || recs[0].End-recs[0].Start != 2.5 {
+		t.Errorf("virtual span = %+v, want 2.5s duration", recs)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	r := New()
+	r.Counter("requests").Add(42)
+	r.Observe("latency", 0.25)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["requests"] != 42 {
+		t.Errorf("decoded counters = %v", snap.Counters)
+	}
+	if snap.Histograms["latency"].Count != 1 {
+		t.Errorf("decoded histograms = %v", snap.Histograms)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	h := new(Histogram)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	h.Observe(0.125)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if rel := math.Abs(got-0.125) / 0.125; rel > 0.10 {
+			t.Errorf("q%v = %g, want ≈0.125", q, got)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package riskbench
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+
+	"riskbench/internal/bench"
+	"riskbench/internal/mpi"
+	"riskbench/internal/premia"
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
+)
+
+// Telemetry is a metrics registry: counters, gauges, latency histograms
+// and spans. A nil *Telemetry is a valid no-op sink.
+type Telemetry = telemetry.Registry
+
+// Metrics is a frozen JSON-serializable snapshot of a Telemetry registry.
+type Metrics = telemetry.Snapshot
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// MetricsHandler serves reg's snapshot as indented JSON, the endpoint the
+// CLI tools expose behind their -telemetry flag.
+func MetricsHandler(reg *Telemetry) http.Handler { return telemetry.Handler(reg) }
+
+// processSink is the registry last installed by SetTelemetry; Snapshot
+// falls back to the package default when none was installed.
+var processSink atomic.Pointer[telemetry.Registry]
+
+// SetTelemetry installs reg as the process-wide sink of the layers whose
+// hot functions take no registry parameter: the pricing library
+// (per-method compute time and work-unit throughput) and the message
+// layer (messages/bytes per rank, pack/unpack time). Farm- and
+// engine-level metrics are wired per call instead, through WithTelemetry
+// or RiskEngine.Telemetry. Pass nil to disable the process-wide layers.
+func SetTelemetry(reg *Telemetry) {
+	premia.SetTelemetry(reg)
+	mpi.SetTelemetry(reg)
+	processSink.Store(reg)
+}
+
+// Snapshot freezes the process-wide telemetry: the registry installed by
+// SetTelemetry, or the shared default registry when none was installed.
+func Snapshot() Metrics {
+	if reg := processSink.Load(); reg != nil {
+		return reg.Snapshot()
+	}
+	return telemetry.Default.Snapshot()
+}
+
+// Sentinel errors of the pricing layer, for errors.Is classification
+// through wrapped chains (including errors surfaced by farm results and
+// the risk engine).
+var (
+	ErrUnknownMethod = premia.ErrUnknownMethod
+	ErrUnknownModel  = premia.ErrUnknownModel
+	ErrUnknownOption = premia.ErrUnknownOption
+	ErrMissingParam  = premia.ErrMissingParam
+)
+
+// config collects the knobs the functional options set; each consumer
+// reads the subset that applies to it.
+type config struct {
+	workers   int
+	batchSize int
+	maxCPUs   int
+	strategy  Strategy
+	hasStrat  bool
+	telemetry *Telemetry
+}
+
+// Option configures RunTableWith and NewEngine. Options not meaningful
+// for a consumer are ignored: worker count and batch size configure the
+// live risk engine, CPU truncation and the strategy override configure
+// table sweeps, and the telemetry sink configures both.
+type Option func(*config)
+
+// WithWorkers sets the live engine's pricing-goroutine count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithBatchSize sets how many tasks travel per farm message.
+func WithBatchSize(n int) Option {
+	return func(c *config) { c.batchSize = n }
+}
+
+// WithMaxCPUs truncates a table sweep's CPU counts, so quick benchmarks
+// run a prefix of the paper's row set.
+func WithMaxCPUs(n int) Option {
+	return func(c *config) { c.maxCPUs = n }
+}
+
+// WithStrategy restricts a table sweep to one communication strategy,
+// replacing the spec's strategy list.
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.strategy = s; c.hasStrat = true }
+}
+
+// WithTelemetry directs metrics into reg: table sweeps collect the
+// per-row telemetry report rendered by Table.Format and merge per-run
+// metrics into reg; the engine records its farm and phase metrics there.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(c *config) { c.telemetry = reg }
+}
+
+// RunTableWith executes a table sweep under a context with options.
+// RunTable(spec) is shorthand for RunTableWith(context.Background(),
+// spec) with no options.
+func RunTableWith(ctx context.Context, spec TableSpec, opts ...Option) (*Table, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.maxCPUs > 0 {
+		spec.MaxCPUs = c.maxCPUs
+	}
+	if c.hasStrat {
+		spec.Strategies = []Strategy{c.strategy}
+	}
+	return bench.RunTableContext(ctx, spec, c.telemetry)
+}
+
+// NewEngine returns a live-farm risk engine configured by the options
+// (worker count, batch size, telemetry sink).
+func NewEngine(opts ...Option) *RiskEngine {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, Telemetry: c.telemetry}
+}

@@ -1,0 +1,170 @@
+package riskbench_test
+
+// Tests of the functional-options façade: RunTableWith, NewEngine and the
+// telemetry wiring, through the public API only.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"riskbench"
+)
+
+// TestRunTableWithTelemetry is the headline contract: a sweep run with a
+// telemetry option formats per-strategy p50/p95 task latency and
+// per-worker utilization alongside the paper's time/speedup columns.
+func TestRunTableWithTelemetry(t *testing.T) {
+	spec := riskbench.TableII()
+	spec.Portfolio = riskbench.ToyPortfolio(300)
+	reg := riskbench.NewTelemetry()
+	tbl, err := riskbench.RunTableWith(context.Background(), spec,
+		riskbench.WithMaxCPUs(4), riskbench.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Format()
+	for _, want := range []string{"p50", "p95", "mean util", "per-worker utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	// The caller's registry accumulated the per-run metrics.
+	snap := reg.Snapshot()
+	found := false
+	for name := range snap.Histograms {
+		if strings.HasSuffix(name, "farm.task_seconds") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("telemetry registry has no merged farm.task_seconds histogram")
+	}
+}
+
+func TestRunTableWithStrategyOverride(t *testing.T) {
+	spec := riskbench.TableII() // normally three strategies
+	spec.Portfolio = riskbench.ToyPortfolio(200)
+	tbl, err := riskbench.RunTableWith(context.Background(), spec,
+		riskbench.WithMaxCPUs(2), riskbench.WithStrategy(riskbench.FullLoad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Spec.Strategies) != 1 || tbl.Spec.Strategies[0] != riskbench.FullLoad {
+		t.Errorf("strategies = %v, want [full load]", tbl.Spec.Strategies)
+	}
+}
+
+func TestRunTableWithCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := riskbench.TableII()
+	spec.Portfolio = riskbench.ToyPortfolio(100)
+	if _, err := riskbench.RunTableWith(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}
+
+// TestNewEngineTelemetry checks that an engine built from options records
+// the revaluation's phases and farm metrics into the given registry.
+func TestNewEngineTelemetry(t *testing.T) {
+	reg := riskbench.NewTelemetry()
+	eng := riskbench.NewEngine(
+		riskbench.WithWorkers(2), riskbench.WithBatchSize(8), riskbench.WithTelemetry(reg))
+	book := riskbench.ToyPortfolio(20)
+	val, err := eng.Revalue(book, riskbench.StressScenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.TotalBase() <= 0 {
+		t.Error("base value not positive")
+	}
+	snap := reg.Snapshot()
+	for _, span := range []string{"risk.revalue", "risk.build", "risk.farm", "risk.scatter", "farm.run"} {
+		if snap.Spans[span].Count == 0 {
+			t.Errorf("no %s span recorded", span)
+		}
+	}
+	// One farm task per (claim, applicable scenario) pair plus the base
+	// pass; the exact count depends on scenario universes, but it is at
+	// least one base valuation per claim.
+	if got := snap.Counters["risk.tasks"]; got < 20 {
+		t.Errorf("risk.tasks = %d, want >= 20", got)
+	}
+	if snap.Histograms["farm.task_seconds"].Count == 0 {
+		t.Error("farm.task_seconds histogram empty")
+	}
+	// Per-scenario revaluation timing: every claim is priced once under
+	// the base scenario, each with a worker-measured compute time.
+	if got := snap.Histograms["risk.scenario_seconds.base"].Count; got != 20 {
+		t.Errorf("risk.scenario_seconds.base count = %d, want 20", got)
+	}
+}
+
+func TestEngineRevalueCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := riskbench.NewEngine(riskbench.WithWorkers(2))
+	_, err := eng.RevalueContext(ctx, riskbench.ToyPortfolio(10), riskbench.StressScenarios())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled revaluation returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSetTelemetrySnapshot checks the process-wide wiring: after
+// SetTelemetry, pricing computations show up in riskbench.Snapshot().
+func TestSetTelemetrySnapshot(t *testing.T) {
+	reg := riskbench.NewTelemetry()
+	riskbench.SetTelemetry(reg)
+	defer riskbench.SetTelemetry(nil)
+	p := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).
+		SetOption(riskbench.OptCallEuro).
+		SetMethod(riskbench.MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1)
+	if _, err := p.Compute(); err != nil {
+		t.Fatal(err)
+	}
+	snap := riskbench.Snapshot()
+	if snap.Counters["premia.computes"] == 0 {
+		t.Error("premia.computes not counted after SetTelemetry")
+	}
+	if snap.Histograms["premia.compute_seconds."+riskbench.MethodCFCall].Count == 0 {
+		t.Error("per-method compute histogram empty")
+	}
+}
+
+// TestMetricsHandler checks the HTTP endpoint the -telemetry flag mounts.
+func TestMetricsHandler(t *testing.T) {
+	reg := riskbench.NewTelemetry()
+	reg.Counter("demo.count").Add(3)
+	srv := httptest.NewServer(riskbench.MetricsHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap riskbench.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["demo.count"] != 3 {
+		t.Errorf("endpoint counters = %v, want demo.count=3", snap.Counters)
+	}
+}
+
+// TestSentinelsExported checks the façade error re-exports classify a
+// failure produced deep inside the pricing layer.
+func TestSentinelsExported(t *testing.T) {
+	p := riskbench.NewProblem().SetMethod("bogus")
+	_, err := p.Compute()
+	if !errors.Is(err, riskbench.ErrUnknownMethod) {
+		t.Fatalf("errors.Is(%v, ErrUnknownMethod) = false", err)
+	}
+}
