@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the recommended pre-commit
 # gate: tier-1 build+test, vet, and a race pass over the packages with
 # real concurrency (the farm's goroutine ranks, the message transports,
-# and the lock-free telemetry primitives).
+# the lock-free telemetry primitives, and the multicore pricing kernel).
 
 GO ?= go
 
@@ -17,9 +17,13 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry
+	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia
 
 check: build vet test race
 
+# bench is a single-iteration smoke pass over the sweep and kernel
+# benchmarks; drop -benchtime to measure (the kernel speedup comparison
+# needs a multicore machine).
 bench:
 	$(GO) test -bench 'BenchmarkTable|BenchmarkAblation' -benchtime 1x .
+	$(GO) test -bench 'BenchmarkKernel' -benchtime 1x ./internal/premia

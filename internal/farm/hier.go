@@ -53,6 +53,9 @@ func RunRootMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loader,
 	if chunk < 1 {
 		chunk = 1
 	}
+	if err := validateTasks(tasks); err != nil {
+		return nil, err
+	}
 	subs := make([]int, groups)
 	for i := range subs {
 		subs[i] = i + 1

@@ -35,14 +35,8 @@ func RunMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loader, opt
 	if nw < 1 {
 		return nil, fmt.Errorf("farm: world of size %d has no workers", c.Size())
 	}
-	// Task names key the retry bookkeeping and the results; duplicates
-	// would silently conflate distinct claims.
-	seen := make(map[string]bool, len(tasks))
-	for _, t := range tasks {
-		if seen[t.Name] {
-			return nil, fmt.Errorf("farm: duplicate task name %q", t.Name)
-		}
-		seen[t.Name] = true
+	if err := validateTasks(tasks); err != nil {
+		return nil, err
 	}
 	workers := make([]int, nw)
 	for i := range workers {
@@ -62,6 +56,21 @@ func RunMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loader, opt
 		return nil, err
 	}
 	return results, nil
+}
+
+// validateTasks rejects duplicate task names. Names key the retry
+// bookkeeping and the results, so duplicates would silently conflate
+// distinct claims; every master entry point (dynamic, static and
+// hierarchical root) runs this before dispatching anything.
+func validateTasks(tasks []Task) error {
+	seen := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		if seen[t.Name] {
+			return fmt.Errorf("farm: duplicate task name %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return nil
 }
 
 // splitBatches groups tasks into batches of at most bs.

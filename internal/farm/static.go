@@ -19,6 +19,9 @@ func RunStaticMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loade
 	if nw < 1 {
 		return nil, fmt.Errorf("farm: world of size %d has no workers", c.Size())
 	}
+	if err := validateTasks(tasks); err != nil {
+		return nil, err
+	}
 	batches := splitBatches(tasks, opts.batchSize())
 	queues := make([][][]Task, nw)
 	for i, b := range batches {

@@ -20,9 +20,10 @@ const MaxHaltonDim = len(haltonPrimes)
 
 // Halton generates rotated Halton points in [0,1)^dim.
 type Halton struct {
-	dim   int
-	index uint64
-	shift []float64
+	dim    int
+	index  uint64
+	stride uint64
+	shift  []float64
 }
 
 // NewHalton returns a generator of the given dimension whose rotation is
@@ -38,7 +39,25 @@ func NewHalton(dim int, seed uint64) *Halton {
 	}
 	// Skip the first point (all zeros before rotation) by starting at 1;
 	// low indices of Halton are its worst-distributed region anyway.
-	return &Halton{dim: dim, index: 1, shift: shift}
+	return &Halton{dim: dim, index: 1, stride: 1, shift: shift}
+}
+
+// NewHaltonLeap returns a leapfrogged generator: the same rotation as
+// NewHalton(dim, seed), but emitting only the points with sequence index
+// start, start+stride, start+2·stride, …. The generators with starts
+// 1..stride (for a common seed and stride) partition NewHalton's sequence
+// exactly, so sharded consumers draw from the same point set as a serial
+// one — this is how the QMC pricer splits work across kernel shards
+// without changing its estimate's support. It panics if stride is zero or
+// dim is out of range.
+func NewHaltonLeap(dim int, seed uint64, start, stride uint64) *Halton {
+	if stride < 1 {
+		panic("mathutil: Halton stride must be >= 1")
+	}
+	h := NewHalton(dim, seed)
+	h.index = start
+	h.stride = stride
+	return h
 }
 
 // Dim returns the point dimension.
@@ -61,7 +80,7 @@ func (h *Halton) Next(dst []float64) {
 		}
 		dst[d] = v
 	}
-	h.index++
+	h.index += h.stride
 }
 
 // radicalInverse reflects the base-b digits of n around the radix point.

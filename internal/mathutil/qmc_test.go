@@ -120,3 +120,42 @@ func TestHaltonDimBounds(t *testing.T) {
 	}
 	NewHalton(MaxHaltonDim, 1) // max must work
 }
+
+// TestHaltonLeapfrogPartitionsSequence checks the kernel-sharding
+// contract: the leapfrogged generators with starts 1..stride and a common
+// seed emit, between them, exactly the plain generator's sequence —
+// same points, same positions.
+func TestHaltonLeapfrogPartitionsSequence(t *testing.T) {
+	const dim, n, stride = 5, 1000, 4
+	const seed = 7
+	plain := NewHalton(dim, seed)
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = make([]float64, dim)
+		plain.Next(want[i])
+	}
+	got := make([][]float64, n)
+	for j := 0; j < stride; j++ {
+		h := NewHaltonLeap(dim, seed, uint64(1+j), stride)
+		for pos := j; pos < n; pos += stride {
+			got[pos] = make([]float64, dim)
+			h.Next(got[pos])
+		}
+	}
+	for i := range want {
+		for d := range want[i] {
+			if want[i][d] != got[i][d] {
+				t.Fatalf("point %d dim %d: plain %v, leapfrog %v", i, d, want[i][d], got[i][d])
+			}
+		}
+	}
+}
+
+func TestHaltonLeapRejectsZeroStride(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stride 0 accepted")
+		}
+	}()
+	NewHaltonLeap(2, 1, 1, 0)
+}

@@ -152,7 +152,9 @@ func (r *RNG) NormVec(dst []float64) {
 
 // Split returns a new generator whose stream is decorrelated from r's,
 // derived deterministically from r's state and the index i. It is the tool
-// for giving each Monte Carlo worker its own reproducible stream.
+// for giving each Monte Carlo worker its own reproducible stream. Split
+// only reads r, so concurrent Split calls on a shared base generator are
+// safe as long as no goroutine advances it.
 func (r *RNG) Split(i uint64) *RNG {
 	return NewRNG(splitmix64(r.stateLo^splitmix64(i)) + splitmix64(r.stateHi+i))
 }

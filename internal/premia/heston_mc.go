@@ -11,8 +11,8 @@ import (
 // with the variance advanced by Alfonsi's drift-implicit square-root
 // scheme (full-truncation Euler fallback when 4κθ < σᵥ²). It
 // cross-validates the semi-analytic CF_Heston pricer and is registered as
-// a method in its own right, as Premia ships both. Parameters: "paths",
-// "mcsteps".
+// a method in its own right, as Premia ships both. Paths run on the
+// multicore pricing kernel. Parameters: "paths", "mcsteps", "threads".
 func mcHestonEuro(p *Problem) (Result, error) {
 	m, err := hestonFrom(p)
 	if err != nil {
@@ -28,32 +28,35 @@ func mcHestonEuro(p *Problem) (Result, error) {
 		return Result{}, fmt.Errorf("premia: MC_Heston needs paths >= 2 and mcsteps >= 1")
 	}
 	isCall := p.Option == OptCallEuro
-	rng := mathutil.NewRNG(mcSeed(p))
 	dt := o.T / float64(steps)
 	sqdt := math.Sqrt(dt)
 	useAlfonsi := 4*m.Kappa*m.Theta >= m.SigmaV*m.SigmaV
 	rho2 := math.Sqrt(1 - m.Rho*m.Rho)
 	df := math.Exp(-m.R * o.T)
-	var w mathutil.Welford
-	for i := 0; i < paths; i++ {
-		x := math.Log(m.S0)
-		v := m.V0
-		for k := 0; k < steps; k++ {
-			z1 := rng.Norm()
-			z2 := rng.Norm()
-			vNew := hestonVarStep(m, v, dt, sqdt*z1, useAlfonsi)
-			x += hestonLogSpotIncrement(m, v, vNew, dt, rho2, z2)
-			v = vNew
+	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
+		for i := 0; i < n; i++ {
+			x := math.Log(m.S0)
+			v := m.V0
+			for k := 0; k < steps; k++ {
+				z1 := rng.Norm()
+				z2 := rng.Norm()
+				vNew := hestonVarStep(m, v, dt, sqdt*z1, useAlfonsi)
+				x += hestonLogSpotIncrement(m, v, vNew, dt, rho2, z2)
+				v = vNew
+			}
+			st := math.Exp(x)
+			if isCall {
+				accs[0].Add(df * payoffCall(st, o.K))
+			} else {
+				accs[0].Add(df * payoffPut(st, o.K))
+			}
 		}
-		st := math.Exp(x)
-		if isCall {
-			w.Add(df * payoffCall(st, o.K))
-		} else {
-			w.Add(df * payoffPut(st, o.K))
-		}
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
-		Price: w.Mean(), PriceCI: w.HalfWidth95(),
+		Price: accs[0].Mean(), PriceCI: accs[0].HalfWidth95(),
 		Work: float64(paths) * float64(steps) * 2,
 	}, nil
 }

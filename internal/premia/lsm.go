@@ -57,29 +57,37 @@ func mcAmerLSM(p *Problem) (Result, error) {
 
 	// Simulate the basket value at each exercise date for each path. Only
 	// the basket average is needed by the payoff and the regression, so
-	// paths×dates floats suffice even in dimension 40.
-	rng := mathutil.NewRNG(mcSeed(p))
+	// paths×dates floats suffice even in dimension 40. Path generation is
+	// the method's hot phase and runs sharded on the multicore pricing
+	// kernel, each shard writing its disjoint block of the basket matrix;
+	// the backward induction below stays serial (it regresses across
+	// paths).
 	dt := o.T / float64(exDates)
 	drift := (r - div - 0.5*sigma*sigma) * dt
 	vol := sigma * math.Sqrt(dt)
 	basket := make([]float64, paths*exDates) // basket[i*exDates+k] at date k+1
-	logS := make([]float64, dim)
-	z := make([]float64, dim)
-	cz := make([]float64, dim)
-	for i := 0; i < paths; i++ {
-		for j := range logS {
-			logS[j] = math.Log(s0)
-		}
-		for k := 0; k < exDates; k++ {
-			rng.NormVec(z)
-			mathutil.MatVecLower(chol, dim, z, cz)
-			sum := 0.0
-			for j := 0; j < dim; j++ {
-				logS[j] += drift + vol*cz[j]
-				sum += math.Exp(logS[j])
+	err = runIndexedKernel(p, paths, func(_, start, count int, rng *mathutil.RNG) {
+		logS := make([]float64, dim)
+		z := make([]float64, dim)
+		cz := make([]float64, dim)
+		for i := start; i < start+count; i++ {
+			for j := range logS {
+				logS[j] = math.Log(s0)
 			}
-			basket[i*exDates+k] = sum / float64(dim)
+			for k := 0; k < exDates; k++ {
+				rng.NormVec(z)
+				mathutil.MatVecLower(chol, dim, z, cz)
+				sum := 0.0
+				for j := 0; j < dim; j++ {
+					logS[j] += drift + vol*cz[j]
+					sum += math.Exp(logS[j])
+				}
+				basket[i*exDates+k] = sum / float64(dim)
+			}
 		}
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	// Backward induction with regression over in-the-money paths.
@@ -164,26 +172,32 @@ func mcAmerAlfonsi(p *Problem) (Result, error) {
 		return Result{}, fmt.Errorf("premia: Alfonsi LSM needs paths >= 10 and exdates >= 2")
 	}
 
-	rng := mathutil.NewRNG(mcSeed(p))
 	dt := o.T / float64(exDates)
 	sqdt := math.Sqrt(dt)
 	useAlfonsi := 4*m.Kappa*m.Theta >= m.SigmaV*m.SigmaV
 	rho2 := math.Sqrt(1 - m.Rho*m.Rho)
 
+	// Path generation sharded on the multicore pricing kernel; the
+	// regression phase below stays serial.
 	spots := make([]float64, paths*exDates)
 	vars := make([]float64, paths*exDates)
-	for i := 0; i < paths; i++ {
-		x := math.Log(m.S0)
-		v := m.V0
-		for k := 0; k < exDates; k++ {
-			z1 := rng.Norm()
-			z2 := rng.Norm()
-			vNew := hestonVarStep(m, v, dt, sqdt*z1, useAlfonsi)
-			x += hestonLogSpotIncrement(m, v, vNew, dt, rho2, z2)
-			v = vNew
-			spots[i*exDates+k] = math.Exp(x)
-			vars[i*exDates+k] = v
+	err = runIndexedKernel(p, paths, func(_, start, count int, rng *mathutil.RNG) {
+		for i := start; i < start+count; i++ {
+			x := math.Log(m.S0)
+			v := m.V0
+			for k := 0; k < exDates; k++ {
+				z1 := rng.Norm()
+				z2 := rng.Norm()
+				vNew := hestonVarStep(m, v, dt, sqdt*z1, useAlfonsi)
+				x += hestonLogSpotIncrement(m, v, vNew, dt, rho2, z2)
+				v = vNew
+				spots[i*exDates+k] = math.Exp(x)
+				vars[i*exDates+k] = v
+			}
 		}
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	// LSM on the 2-d state (S, V): basis {1, s, s², s³, v, s·v} with

@@ -3,7 +3,6 @@ package premia
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"riskbench/internal/mathutil"
 )
@@ -14,16 +13,27 @@ const (
 	mcDefaultPaths = 100000
 	mcDefaultSteps = 64
 	mcSeedKey      = "seed"
+	mcSeedHiKey    = "seedhi"
+	mcDefaultSeed  = 20090101
 )
 
+// mcSeed assembles the Monte Carlo seed. Params values are float64, which
+// represents only 53-bit integers exactly, so full-width 64-bit seeds
+// travel as two 32-bit halves — "seed" (low) and "seedhi" (high), written
+// together by Problem.SetSeed. Problems carrying just "seed" keep their
+// historical meaning.
 func mcSeed(p *Problem) uint64 {
-	return uint64(p.Params.Get(mcSeedKey, 20090101))
+	lo := p.Params.Uint64(mcSeedKey, mcDefaultSeed)
+	hi := p.Params.Uint64(mcSeedHiKey, 0)
+	return hi<<32 | lo
 }
 
 // mcEuro implements MC_Euro: Monte Carlo under one-dimensional
 // Black–Scholes with exact lognormal terminal sampling for vanilla
 // payoffs, and a Brownian-bridge-corrected Euler path for the
-// down-and-out barrier call. Parameters: "paths", "mcsteps" (barrier only).
+// down-and-out barrier call. Paths run on the multicore pricing kernel
+// (see parallel.go). Parameters: "paths", "threads",
+// "mcsteps" (barrier only).
 func mcEuro(p *Problem) (Result, error) {
 	m, err := bsFrom(p)
 	if err != nil {
@@ -33,7 +43,6 @@ func mcEuro(p *Problem) (Result, error) {
 	if paths < 2 {
 		return Result{}, fmt.Errorf("premia: MC_Euro needs paths >= 2, got %d", paths)
 	}
-	rng := mathutil.NewRNG(mcSeed(p))
 
 	switch p.Option {
 	case OptCallEuro, OptPutEuro:
@@ -61,27 +70,36 @@ func mcEuro(p *Problem) (Result, error) {
 			}
 			return pay, dpay
 		}
-		var w, wd mathutil.Welford
+		var accs []mathutil.Welford
 		if antithetic {
 			// Pair each draw with its mirror: the averaged pair is one
 			// sample with strictly smaller variance for monotone payoffs.
-			for i := 0; i < paths/2; i++ {
-				g := rng.Norm()
-				p1, d1 := eval(g)
-				p2, d2 := eval(-g)
-				w.Add(df * (p1 + p2) / 2)
-				wd.Add(df * (d1 + d2) / 2)
-			}
+			// The kernel shards over pairs, so each pair stays on one
+			// stream.
+			accs, err = runPathKernel(p, paths/2, 2, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
+				for i := 0; i < n; i++ {
+					g := rng.Norm()
+					p1, d1 := eval(g)
+					p2, d2 := eval(-g)
+					accs[0].Add(df * (p1 + p2) / 2)
+					accs[1].Add(df * (d1 + d2) / 2)
+				}
+			})
 		} else {
-			for i := 0; i < paths; i++ {
-				pay, dpay := eval(rng.Norm())
-				w.Add(df * pay)
-				wd.Add(df * dpay)
-			}
+			accs, err = runPathKernel(p, paths, 2, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
+				for i := 0; i < n; i++ {
+					pay, dpay := eval(rng.Norm())
+					accs[0].Add(df * pay)
+					accs[1].Add(df * dpay)
+				}
+			})
+		}
+		if err != nil {
+			return Result{}, err
 		}
 		return Result{
-			Price: w.Mean(), PriceCI: w.HalfWidth95(),
-			Delta: wd.Mean(), HasDelta: true,
+			Price: accs[0].Mean(), PriceCI: accs[0].HalfWidth95(),
+			Delta: accs[1].Mean(), HasDelta: true,
 			Work: float64(paths),
 		}, nil
 
@@ -106,33 +124,37 @@ func mcEuro(p *Problem) (Result, error) {
 		df := math.Exp(-m.R * o.T)
 		lnL := math.Log(o.L)
 		sig2dt := m.Sigma * m.Sigma * dt
-		var w mathutil.Welford
-		for i := 0; i < paths; i++ {
-			x := math.Log(m.S0)
-			alive := true
-			// Survival probability of the Brownian bridge between the
-			// discrete monitoring dates removes the discretisation bias.
-			survival := 1.0
-			for k := 0; k < steps && alive; k++ {
-				xNext := x + drift + vol*rng.Norm()
-				if xNext <= lnL {
-					alive = false
-					break
+		accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
+			for i := 0; i < n; i++ {
+				x := math.Log(m.S0)
+				alive := true
+				// Survival probability of the Brownian bridge between the
+				// discrete monitoring dates removes the discretisation bias.
+				survival := 1.0
+				for k := 0; k < steps && alive; k++ {
+					xNext := x + drift + vol*rng.Norm()
+					if xNext <= lnL {
+						alive = false
+						break
+					}
+					// P(bridge from x to xNext dips below lnL).
+					pHit := math.Exp(-2 * (x - lnL) * (xNext - lnL) / sig2dt)
+					survival *= 1 - pHit
+					x = xNext
 				}
-				// P(bridge from x to xNext dips below lnL).
-				pHit := math.Exp(-2 * (x - lnL) * (xNext - lnL) / sig2dt)
-				survival *= 1 - pHit
-				x = xNext
+				pay := o.Rebate
+				if alive {
+					st := math.Exp(x)
+					pay = survival*payoffCall(st, o.K) + (1-survival)*o.Rebate
+				}
+				accs[0].Add(df * pay)
 			}
-			pay := o.Rebate
-			if alive {
-				st := math.Exp(x)
-				pay = survival*payoffCall(st, o.K) + (1-survival)*o.Rebate
-			}
-			w.Add(df * pay)
+		})
+		if err != nil {
+			return Result{}, err
 		}
 		return Result{
-			Price: w.Mean(), PriceCI: w.HalfWidth95(),
+			Price: accs[0].Mean(), PriceCI: accs[0].HalfWidth95(),
 			Work: float64(paths) * float64(steps),
 		}, nil
 	}
@@ -144,13 +166,10 @@ func mcEuro(p *Problem) (Result, error) {
 // maturity through the Cholesky factor of the correlation matrix. This is
 // the paper's "40-dimensional basket put, 10⁶ samples" workload.
 //
-// The optional "threads" parameter splits the paths over goroutines, each
-// with its own RNG stream derived by Split and its own Welford
-// accumulator merged deterministically at the end — so the result depends
-// only on (seed, paths, threads), never on scheduling. (The paper prices
-// each option on a single processor; this knob is the natural extension
-// once nodes are multi-core, like the unused second core of the paper's
-// Xeons.)
+// Paths run on the multicore pricing kernel: the optional "threads"
+// parameter sizes the goroutine pool, while the shard decomposition (and
+// therefore the estimate) depends only on (seed, paths) — see
+// parallel.go.
 func mcBasket(p *Problem) (Result, error) {
 	m, err := mbsFrom(p)
 	if err != nil {
@@ -164,13 +183,6 @@ func mcBasket(p *Problem) (Result, error) {
 	if paths < 2 {
 		return Result{}, fmt.Errorf("premia: MC_Basket needs paths >= 2, got %d", paths)
 	}
-	threads := p.Params.Int("threads", 1)
-	if threads < 1 {
-		return Result{}, fmt.Errorf("premia: MC_Basket needs threads >= 1, got %d", threads)
-	}
-	if threads > paths {
-		threads = paths
-	}
 	d := m.Dim
 	chol := make([]float64, d*d)
 	if err := mathutil.Cholesky(mathutil.CorrelationMatrix(d, m.Rho), d, chol); err != nil {
@@ -179,10 +191,9 @@ func mcBasket(p *Problem) (Result, error) {
 	drift := (m.R - m.Div - 0.5*m.Sigma*m.Sigma) * o.T
 	vol := m.Sigma * math.Sqrt(o.T)
 	df := math.Exp(-m.R * o.T)
-	base := mathutil.NewRNG(mcSeed(p))
 
 	isCall := p.Option == OptCallBasketEuro
-	worker := func(rng *mathutil.RNG, n int, out *mathutil.Welford) {
+	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
 		z := make([]float64, d)
 		cz := make([]float64, d)
 		st := make([]float64, d)
@@ -193,42 +204,24 @@ func mcBasket(p *Problem) (Result, error) {
 				st[j] = m.S0 * math.Exp(drift+vol*cz[j])
 			}
 			if isCall {
-				out.Add(df * payoffCall(basketValue(st), o.K))
+				accs[0].Add(df * payoffCall(basketValue(st), o.K))
 			} else {
-				out.Add(df * payoffPut(basketValue(st), o.K))
+				accs[0].Add(df * payoffPut(basketValue(st), o.K))
 			}
 		}
-	}
-	accs := make([]mathutil.Welford, threads)
-	if threads == 1 {
-		worker(base, paths, &accs[0])
-	} else {
-		var wg sync.WaitGroup
-		for tID := 0; tID < threads; tID++ {
-			n := paths / threads
-			if tID < paths%threads {
-				n++
-			}
-			wg.Add(1)
-			go func(id, count int) {
-				defer wg.Done()
-				worker(base.Split(uint64(id)), count, &accs[id])
-			}(tID, n)
-		}
-		wg.Wait()
-	}
-	var w mathutil.Welford
-	for i := range accs {
-		w.Merge(accs[i])
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
-		Price: w.Mean(), PriceCI: w.HalfWidth95(),
+		Price: accs[0].Mean(), PriceCI: accs[0].HalfWidth95(),
 		Work: float64(paths) * float64(d),
 	}, nil
 }
 
 // mcLocalVol implements MC_LocalVol: log-Euler simulation under the
-// parametric local-volatility surface. Parameters: "paths", "mcsteps".
+// parametric local-volatility surface, sharded over the multicore pricing
+// kernel. Parameters: "paths", "mcsteps", "threads".
 func mcLocalVol(p *Problem) (Result, error) {
 	m, err := lvFrom(p)
 	if err != nil {
@@ -244,29 +237,32 @@ func mcLocalVol(p *Problem) (Result, error) {
 		return Result{}, fmt.Errorf("premia: MC_LocalVol needs paths >= 2 and mcsteps >= 1")
 	}
 	isCall := p.Option == OptCallEuro
-	rng := mathutil.NewRNG(mcSeed(p))
 	dt := o.T / float64(steps)
 	sqdt := math.Sqrt(dt)
 	df := math.Exp(-m.R * o.T)
-	var w mathutil.Welford
-	for i := 0; i < paths; i++ {
-		s := m.S0
-		t := 0.0
-		for k := 0; k < steps; k++ {
-			sig := m.Vol(t, s)
-			s *= math.Exp((m.R-m.Div-0.5*sig*sig)*dt + sig*sqdt*rng.Norm())
-			t += dt
+	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
+		for i := 0; i < n; i++ {
+			s := m.S0
+			t := 0.0
+			for k := 0; k < steps; k++ {
+				sig := m.Vol(t, s)
+				s *= math.Exp((m.R-m.Div-0.5*sig*sig)*dt + sig*sqdt*rng.Norm())
+				t += dt
+			}
+			var pay float64
+			if isCall {
+				pay = payoffCall(s, o.K)
+			} else {
+				pay = payoffPut(s, o.K)
+			}
+			accs[0].Add(df * pay)
 		}
-		var pay float64
-		if isCall {
-			pay = payoffCall(s, o.K)
-		} else {
-			pay = payoffPut(s, o.K)
-		}
-		w.Add(df * pay)
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
-		Price: w.Mean(), PriceCI: w.HalfWidth95(),
+		Price: accs[0].Mean(), PriceCI: accs[0].HalfWidth95(),
 		Work: float64(paths) * float64(steps),
 	}, nil
 }

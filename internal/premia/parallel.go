@@ -1,0 +1,187 @@
+package premia
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"riskbench/internal/mathutil"
+)
+
+// The multicore pricing kernel: a sharded path-simulation runtime shared
+// by the Monte Carlo methods of this package. The paper prices each
+// option on a single processor; this layer is the natural extension once
+// nodes are multi-core (the unused second core of the paper's Xeons): a
+// worker rank can spend every local core on one pricing task.
+//
+// Determinism contract: the path budget is always decomposed into the
+// same shards — each with its own RNG stream derived by Split from the
+// problem seed, and its own accumulators — and the per-shard statistics
+// are merged in shard order. The thread count only decides how many
+// goroutines consume the shard queue, so an estimate depends solely on
+// (seed, paths): threads=1 and threads=K return bit-identical results.
+
+// kernelShards is the fixed shard count of the kernel (fewer only when
+// there are fewer paths than shards). 64 shards keep the pool busy on any
+// realistic core count while leaving each shard enough paths to amortise
+// its RNG split, and — being independent of the thread count — keep the
+// decomposition, and therefore the estimate, thread-invariant.
+const kernelShards = 64
+
+// kernelThreadsKey is the per-problem override of the kernel pool size.
+const kernelThreadsKey = "threads"
+
+// kernelDefaultThreads holds the process-wide default pool size installed
+// by SetKernelThreads; values < 1 mean serial execution.
+var kernelDefaultThreads atomic.Int64
+
+// SetKernelThreads installs the process-wide default worker count of the
+// multicore pricing kernel, used by every Compute whose problem carries
+// no explicit "threads" parameter. n < 1 (and the initial state) selects
+// serial execution. Typically wired through the riskbench façade.
+func SetKernelThreads(n int) {
+	kernelDefaultThreads.Store(int64(n))
+}
+
+// kernelThreads resolves the pool size for one problem: its "threads"
+// parameter if present, else the process default.
+func kernelThreads(p *Problem) (int, error) {
+	def := int(kernelDefaultThreads.Load())
+	if def < 1 {
+		def = 1
+	}
+	threads := p.Params.Int(kernelThreadsKey, def)
+	if threads < 1 {
+		return 0, fmt.Errorf("premia: %s needs threads >= 1, got %d", p.Method, threads)
+	}
+	return threads, nil
+}
+
+// shardCounts partitions n paths over min(kernelShards, n) shards as
+// evenly as possible. The split depends only on n.
+func shardCounts(n int) []int {
+	shards := kernelShards
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	counts := make([]int, shards)
+	base, rem := n/shards, n%shards
+	for i := range counts {
+		counts[i] = base
+		if i < rem {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// kernelRun executes body(0), …, body(shards-1) on a pool of threads
+// goroutines (inline when one suffices), handing shards out through an
+// atomic cursor. Which goroutine runs which shard is scheduling-dependent,
+// but every shard's work must be self-contained (own RNG, own output
+// slots), so the assignment cannot influence results. Per-shard compute
+// times go to the "premia.kernel.shard_seconds" histogram and each run
+// sets the "premia.kernel.efficiency" gauge (busy time over threads×wall,
+// 1.0 meaning perfect scaling) in the package telemetry sink.
+func kernelRun(threads, shards int, body func(shard int)) {
+	if shards < 1 {
+		return
+	}
+	if threads > shards {
+		threads = shards
+	}
+	reg := sink.Load()
+	var durs []float64
+	var t0 float64
+	run := body
+	if reg != nil {
+		durs = make([]float64, shards)
+		t0 = reg.Now()
+		run = func(s int) {
+			start := reg.Now()
+			body(s)
+			durs[s] = reg.Now() - start
+		}
+	}
+	if threads <= 1 {
+		for s := 0; s < shards; s++ {
+			run(s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(threads)
+		for t := 0; t < threads; t++ {
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= shards {
+						return
+					}
+					run(s)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if reg != nil {
+		busy := 0.0
+		for _, d := range durs {
+			reg.Observe("premia.kernel.shard_seconds", d)
+			busy += d
+		}
+		reg.Counter("premia.kernel.runs").Add(1)
+		if wall := reg.Now() - t0; wall > 0 {
+			reg.Gauge("premia.kernel.efficiency").Set(busy / (float64(threads) * wall))
+		}
+	}
+}
+
+// runPathKernel simulates n independent units (paths, antithetic pairs,
+// …) through the kernel: body runs once per shard with the shard's own
+// decorrelated RNG stream, its unit count, and naccs fresh accumulators.
+// The per-shard accumulators are merged in shard order, so the returned
+// statistics depend only on (seed, n), never on the thread count.
+func runPathKernel(p *Problem, n, naccs int, body func(rng *mathutil.RNG, n int, accs []mathutil.Welford)) ([]mathutil.Welford, error) {
+	perShard := make([][]mathutil.Welford, len(shardCounts(n)))
+	err := runIndexedKernel(p, n, func(shard, start, count int, rng *mathutil.RNG) {
+		accs := make([]mathutil.Welford, naccs)
+		body(rng, count, accs)
+		perShard[shard] = accs
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := make([]mathutil.Welford, naccs)
+	for _, accs := range perShard {
+		for j := range merged {
+			merged[j].Merge(accs[j])
+		}
+	}
+	return merged, nil
+}
+
+// runIndexedKernel is the lower-level shape for methods that write
+// per-path results into pre-allocated disjoint slices (the LSM
+// path-generation phase): body receives the shard index, the shard's
+// global unit offset and count, and the shard's RNG stream.
+func runIndexedKernel(p *Problem, n int, body func(shard, start, count int, rng *mathutil.RNG)) error {
+	threads, err := kernelThreads(p)
+	if err != nil {
+		return err
+	}
+	counts := shardCounts(n)
+	starts := make([]int, len(counts))
+	for i := 1; i < len(counts); i++ {
+		starts[i] = starts[i-1] + counts[i-1]
+	}
+	base := mathutil.NewRNG(mcSeed(p))
+	kernelRun(threads, len(counts), func(s int) {
+		body(s, starts[s], counts[s], base.Split(uint64(s)))
+	})
+	return nil
+}

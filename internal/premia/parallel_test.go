@@ -1,0 +1,179 @@
+package premia
+
+import (
+	"fmt"
+	"testing"
+
+	"riskbench/internal/telemetry"
+)
+
+// kernelProblems enumerates one modest-sized problem per method that runs
+// on the multicore pricing kernel, for the thread-invariance suite.
+func kernelProblems() map[string]*Problem {
+	return map[string]*Problem{
+		"MC_Euro": bsProblem(OptCallEuro, MethodMCEuro, 100, 1).
+			Set("paths", 20000),
+		"MC_Euro_antithetic": bsProblem(OptCallEuro, MethodMCEuro, 100, 1).
+			Set("paths", 20000).Set("antithetic", 1),
+		"MC_Euro_barrier": barrierProblem(MethodMCEuro, 100, 1, 90).
+			Set("paths", 5000).Set("mcsteps", 16),
+		"MC_Basket": basketProblem(4).Set("paths", 10000),
+		"QMC_Basket": basketProblem(4).SetMethod(MethodQMCBasket).
+			Set("paths", 8192).Set("rotations", 8),
+		"MC_LocalVol": New().SetModel(ModelLocVol).SetOption(OptCallEuro).
+			SetMethod(MethodMCLocalVol).
+			Set("S0", 100).Set("r", 0.05).Set("sigma0", 0.25).Set("skew", -0.2).
+			Set("K", 100).Set("T", 1).
+			Set("paths", 5000).Set("mcsteps", 16),
+		"MC_Heston": hestonProblem(OptCallEuro, MethodMCHeston).
+			Set("paths", 5000).Set("mcsteps", 16),
+		"LSM": bsProblem(OptPutAmer, MethodMCAmerLSM, 100, 1).
+			Set("paths", 5000).Set("exdates", 20),
+		"LSM_Alfonsi": hestonProblem(OptPutAmer, MethodMCAmerAlfonsi).
+			Set("paths", 4000).Set("exdates", 20),
+	}
+}
+
+// TestKernelBitIdenticalAcrossThreads is the kernel's determinism
+// contract: the shard decomposition depends only on (seed, paths), so a
+// serial run and an 8-thread run must agree bit for bit — price,
+// confidence interval and delta. Run under -race via `make check`, this
+// also exercises the pool for data races.
+func TestKernelBitIdenticalAcrossThreads(t *testing.T) {
+	for name, base := range kernelProblems() {
+		base := base
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := base.Clone().Set("threads", 1).Compute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := base.Clone().Set("threads", 8).Compute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Price != parallel.Price || serial.PriceCI != parallel.PriceCI || serial.Delta != parallel.Delta {
+				t.Errorf("threads=1 %v ± %v (delta %v) != threads=8 %v ± %v (delta %v)",
+					serial.Price, serial.PriceCI, serial.Delta,
+					parallel.Price, parallel.PriceCI, parallel.Delta)
+			}
+			// No "threads" parameter means the process default (serial
+			// here), which must sit on the same decomposition.
+			def, err := base.Clone().Compute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if def.Price != serial.Price {
+				t.Errorf("default threads price %v != threads=1 price %v", def.Price, serial.Price)
+			}
+		})
+	}
+}
+
+// TestKernelProcessDefaultThreads checks the SetKernelThreads plumbing:
+// the process default applies when a problem has no "threads" parameter,
+// changes nothing about the numbers, and loses to an explicit parameter.
+func TestKernelProcessDefaultThreads(t *testing.T) {
+	base := bsProblem(OptCallEuro, MethodMCEuro, 100, 1).Set("paths", 20000)
+	serial, err := base.Clone().Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetKernelThreads(4)
+	defer SetKernelThreads(0)
+	pooled, err := base.Clone().Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Price != serial.Price || pooled.PriceCI != serial.PriceCI {
+		t.Errorf("process default 4 threads changed the estimate: %v ± %v vs %v ± %v",
+			pooled.Price, pooled.PriceCI, serial.Price, serial.PriceCI)
+	}
+	explicit, err := base.Clone().Set("threads", 1).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Price != serial.Price {
+		t.Errorf("explicit threads=1 under process default 4: %v vs %v", explicit.Price, serial.Price)
+	}
+}
+
+func TestKernelRejectsBadThreads(t *testing.T) {
+	if _, err := bsProblem(OptCallEuro, MethodMCEuro, 100, 1).
+		Set("paths", 1000).Set("threads", -1).Compute(); err == nil {
+		t.Fatal("negative threads accepted")
+	}
+	if _, err := bsProblem(OptCallEuro, MethodMCEuro, 100, 1).
+		Set("paths", 1000).Set("threads", 0).Compute(); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}
+
+// TestKernelTelemetry checks the per-shard histogram and the
+// parallel-efficiency gauge reach the package sink.
+func TestKernelTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	SetTelemetry(reg)
+	defer SetTelemetry(nil)
+	if _, err := bsProblem(OptCallEuro, MethodMCEuro, 100, 1).
+		Set("paths", 20000).Set("threads", 4).Compute(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["premia.kernel.runs"] == 0 {
+		t.Error("kernel run not counted")
+	}
+	hist, ok := snap.Histograms["premia.kernel.shard_seconds"]
+	if !ok || hist.Count == 0 {
+		t.Error("no per-shard compute histogram recorded")
+	}
+	eff, ok := snap.Gauges["premia.kernel.efficiency"]
+	if !ok {
+		t.Error("no parallel-efficiency gauge recorded")
+	} else if eff < 0 {
+		t.Errorf("negative efficiency %v", eff)
+	}
+}
+
+// benchKernel prices p repeatedly, reporting paths/op via b.N.
+func benchKernel(b *testing.B, p *Problem) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Compute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelMCEuro compares serial vs sharded throughput of the
+// scalar European MC pricer (`make bench` runs these with -benchtime=1x
+// as a smoke test; run with the default benchtime to measure speedup).
+func BenchmarkKernelMCEuro(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchKernel(b, bsProblem(OptCallEuro, MethodMCEuro, 100, 1).
+				Set("paths", 2000000).Set("threads", float64(threads)))
+		})
+	}
+}
+
+// BenchmarkKernelMCBasket is the paper's 40-dimensional basket put
+// workload on the kernel.
+func BenchmarkKernelMCBasket(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchKernel(b, basketProblem(40).
+				Set("paths", 50000).Set("threads", float64(threads)))
+		})
+	}
+}
+
+// BenchmarkKernelMCHeston covers a path-dependent (stepped) scheme.
+func BenchmarkKernelMCHeston(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchKernel(b, hestonProblem(OptCallEuro, MethodMCHeston).
+				Set("paths", 100000).Set("mcsteps", 64).Set("threads", float64(threads)))
+		})
+	}
+}

@@ -2,6 +2,7 @@ package premia
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -49,12 +50,35 @@ func (p Params) NeedPositive(key string) (float64, error) {
 	return v, nil
 }
 
-// Int returns the value for key rounded to int, or fallback if absent.
+// Int returns the value for key rounded to the nearest int (halves away
+// from zero), or fallback if absent. math.Round, not int(v+0.5): the
+// latter truncates toward zero after the shift and mis-rounds negatives
+// (-2.4 would become -1).
 func (p Params) Int(key string, fallback int) int {
 	if v, ok := p[key]; ok {
-		return int(v + 0.5)
+		return int(math.Round(v))
 	}
 	return fallback
+}
+
+// Uint64 returns the value for key as a uint64, or fallback if absent.
+// The conversion truncates any fraction and clamps to [0, 2^64) instead
+// of hitting Go's undefined float→uint conversion for out-of-range
+// values. Params values are float64, which holds only 53-bit integers
+// exactly, so full-width 64-bit values (Monte Carlo seeds) should be
+// split across two keys — see Problem.SetSeed.
+func (p Params) Uint64(key string, fallback uint64) uint64 {
+	v, ok := p[key]
+	if !ok {
+		return fallback
+	}
+	switch {
+	case math.IsNaN(v) || v <= 0:
+		return 0
+	case v >= 1<<64:
+		return math.MaxUint64
+	}
+	return uint64(v)
 }
 
 // Keys returns the parameter names in sorted order for deterministic

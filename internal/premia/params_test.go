@@ -1,0 +1,99 @@
+package premia
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamsIntRounding(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{2, 2},
+		{2.4, 2},
+		{2.5, 3},
+		{2.6, 3},
+		{-2, -2},
+		{-2.4, -2}, // int(v+0.5) used to give -1
+		{-2.5, -3}, // halves round away from zero
+		{-2.6, -3},
+		{0.4999, 0},
+		{-0.4999, 0},
+	} {
+		p := Params{"k": tc.v}
+		if got := p.Int("k", 99); got != tc.want {
+			t.Errorf("Int(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if got := (Params{}).Int("missing", 7); got != 7 {
+		t.Errorf("missing key: got %d, want fallback 7", got)
+	}
+}
+
+func TestParamsUint64(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want uint64
+	}{
+		{0, 0},
+		{-5, 0},
+		{math.NaN(), 0},
+		{1.9, 1},
+		{20090101, 20090101},
+		{1 << 52, 1 << 52},
+		{1 << 60, 1 << 60}, // exactly representable above 2^53
+		{math.Inf(1), math.MaxUint64},
+		{2 * math.Pow(2, 64), math.MaxUint64},
+	} {
+		p := Params{"k": tc.v}
+		if got := p.Uint64("k", 42); got != tc.want {
+			t.Errorf("Uint64(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if got := (Params{}).Uint64("missing", 42); got != 42 {
+		t.Errorf("missing key: got %d, want fallback 42", got)
+	}
+}
+
+// TestSetSeedLargeSeedsSurvive is the regression for the float64 seed
+// round trip: seeds at and above 2^53 differ only in bits a float64
+// cannot hold, so storing them in a single param conflates them. SetSeed
+// splits the halves and mcSeed must reassemble the exact value.
+func TestSetSeedLargeSeedsSurvive(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 20090101, 1 << 32, (1 << 53) + 1, (1 << 60) + 12345, math.MaxUint64} {
+		p := New().SetSeed(seed)
+		if got := mcSeed(p); got != seed {
+			t.Errorf("mcSeed after SetSeed(%d) = %d", seed, got)
+		}
+	}
+	// Adjacent large seeds must yield different prices; through a single
+	// float64 "seed" param they collapse to the same stream.
+	mk := func(seed uint64) *Problem {
+		return bsProblem(OptCallEuro, MethodMCEuro, 100, 1).Set("paths", 2000).SetSeed(seed)
+	}
+	a, err := mk((1 << 53) + 1).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk((1 << 53) + 2).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Price == b.Price {
+		t.Errorf("seeds 2^53+1 and 2^53+2 produced the same price %v", a.Price)
+	}
+	// Small seeds keep their historical meaning through plain Set.
+	c, err := bsProblem(OptCallEuro, MethodMCEuro, 100, 1).Set("paths", 2000).Set("seed", 7).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bsProblem(OptCallEuro, MethodMCEuro, 100, 1).Set("paths", 2000).SetSeed(7).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Price != d.Price {
+		t.Errorf("Set(seed,7) price %v != SetSeed(7) price %v", c.Price, d.Price)
+	}
+}

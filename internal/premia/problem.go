@@ -75,6 +75,17 @@ func (p *Problem) Set(key string, v float64) *Problem {
 	return p
 }
 
+// SetSeed stores the Monte Carlo seed with full 64-bit fidelity. Params
+// values are float64, which represents only 53-bit integers exactly, so
+// the seed is split into two 32-bit halves — "seed" (low) and "seedhi"
+// (high) — each of which survives the float round trip; mcSeed
+// reassembles them. Seeds below 2^32 may equivalently be set through
+// Set("seed", …), as before.
+func (p *Problem) SetSeed(seed uint64) *Problem {
+	p.Set(mcSeedKey, float64(seed&0xffffffff))
+	return p.Set(mcSeedHiKey, float64(seed>>32))
+}
+
 // Clone returns a deep copy of the problem.
 func (p *Problem) Clone() *Problem {
 	return &Problem{Asset: p.Asset, Model: p.Model, Option: p.Option, Method: p.Method, Params: p.Params.Clone()}

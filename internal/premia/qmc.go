@@ -10,8 +10,11 @@ import (
 // MethodQMCBasket prices European basket puts by randomised quasi-Monte
 // Carlo: rotated Halton points mapped through the inverse normal CDF and
 // the correlation Cholesky factor. Several independent rotations provide
-// the confidence interval. Parameters: "paths" (total points),
-// "rotations" (default 8).
+// the confidence interval. Each rotation's point set is partitioned into
+// leapfrogged Halton streams consumed by the multicore pricing kernel, so
+// the evaluated point set is identical to a serial scan regardless of the
+// thread count. Parameters: "paths" (total points), "rotations"
+// (default 8), "threads".
 const MethodQMCBasket = "QMC_Basket"
 
 func qmcBasket(p *Problem) (Result, error) {
@@ -45,30 +48,58 @@ func qmcBasket(p *Problem) (Result, error) {
 	}
 	seed := mcSeed(p)
 	isCall := p.Option == OptCallBasketEuro
-	u := make([]float64, d)
-	z := make([]float64, d)
-	cz := make([]float64, d)
-	st := make([]float64, d)
-	// Across-rotation statistics give an unbiased error estimate for the
-	// randomised QMC estimator.
-	var across mathutil.Welford
-	for rot := 0; rot < rotations; rot++ {
-		h := mathutil.NewHalton(d, seed+uint64(rot)*0x9e3779b9)
+	threads, err := kernelThreads(p)
+	if err != nil {
+		return Result{}, err
+	}
+	// Each rotation is cut into leapfrogged Halton streams (stream j of L
+	// takes sequence positions j, j+L, …), one kernel shard per
+	// (rotation, stream) pair. The streams share the rotation's random
+	// shift, so their union is exactly the serial point set; per-rotation
+	// partial sums are reduced in stream order, keeping the estimate
+	// thread-invariant.
+	streams := kernelShards / rotations
+	if streams < 1 {
+		streams = 1
+	}
+	if streams > perRot {
+		streams = perRot
+	}
+	sums := make([]float64, rotations*streams)
+	kernelRun(threads, rotations*streams, func(shard int) {
+		rot := shard / streams
+		j := shard % streams
+		h := mathutil.NewHaltonLeap(d, seed+uint64(rot)*0x9e3779b9, uint64(1+j), uint64(streams))
+		count := (perRot - j + streams - 1) / streams
+		u := make([]float64, d)
+		z := make([]float64, d)
+		cz := make([]float64, d)
+		st := make([]float64, d)
 		sum := 0.0
-		for i := 0; i < perRot; i++ {
+		for i := 0; i < count; i++ {
 			h.Next(u)
-			for j := 0; j < d; j++ {
-				z[j] = mathutil.InvNormCDF(u[j])
+			for k := 0; k < d; k++ {
+				z[k] = mathutil.InvNormCDF(u[k])
 			}
 			mathutil.MatVecLower(chol, d, z, cz)
-			for j := 0; j < d; j++ {
-				st[j] = m.S0 * math.Exp(drift+vol*cz[j])
+			for k := 0; k < d; k++ {
+				st[k] = m.S0 * math.Exp(drift+vol*cz[k])
 			}
 			if isCall {
 				sum += df * payoffCall(basketValue(st), o.K)
 			} else {
 				sum += df * payoffPut(basketValue(st), o.K)
 			}
+		}
+		sums[shard] = sum
+	})
+	// Across-rotation statistics give an unbiased error estimate for the
+	// randomised QMC estimator.
+	var across mathutil.Welford
+	for rot := 0; rot < rotations; rot++ {
+		sum := 0.0
+		for j := 0; j < streams; j++ {
+			sum += sums[rot*streams+j]
 		}
 		across.Add(sum / float64(perRot))
 	}

@@ -22,6 +22,12 @@ type Engine struct {
 	// bunching the paper's conclusion recommends, which matters here
 	// because scenario grids multiply the task count).
 	BatchSize int
+	// KernelThreads, when > 0, is stamped as the "threads" parameter onto
+	// every task whose problem does not already carry one, so each worker
+	// shards its Monte Carlo path loops over that many cores via the
+	// premia multicore pricing kernel. Prices are unchanged: the kernel's
+	// shard decomposition is thread-invariant.
+	KernelThreads int
 	// Telemetry, when non-nil, receives the revaluation's metrics: the
 	// farm's task histograms and spans, phase spans
 	// (risk.build/risk.farm/risk.scatter under risk.revalue), task and
@@ -142,7 +148,20 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 	// Build the cross product of tasks.
 	buildSpan := revSpan.StartChild("risk.build")
 	var tasks []farm.Task
+	// stamp applies the engine's kernel thread count to a task's problem,
+	// cloning first so the caller's portfolio is never mutated; an
+	// explicit per-problem "threads" parameter wins.
+	stamp := func(p *premia.Problem) *premia.Problem {
+		if e.KernelThreads <= 0 {
+			return p
+		}
+		if _, ok := p.Params["threads"]; ok {
+			return p
+		}
+		return p.Clone().Set("threads", float64(e.KernelThreads))
+	}
 	addTask := func(scIdx int, item portfolio.Item, p *premia.Problem) error {
+		p = stamp(p)
 		h, err := p.ToNsp()
 		if err != nil {
 			return err

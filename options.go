@@ -61,15 +61,24 @@ var (
 	ErrMissingParam  = premia.ErrMissingParam
 )
 
+// SetKernelThreads installs the process-wide default worker count of the
+// multicore pricing kernel: every Problem.Compute whose problem carries
+// no explicit "threads" parameter shards its path loop over this many
+// goroutines. n < 1 (the initial state) means serial pricing. The result
+// of a Monte Carlo method depends only on (seed, paths) — never on the
+// thread count — so flipping this knob changes speed, not prices.
+func SetKernelThreads(n int) { premia.SetKernelThreads(n) }
+
 // config collects the knobs the functional options set; each consumer
 // reads the subset that applies to it.
 type config struct {
-	workers   int
-	batchSize int
-	maxCPUs   int
-	strategy  Strategy
-	hasStrat  bool
-	telemetry *Telemetry
+	workers       int
+	batchSize     int
+	maxCPUs       int
+	kernelThreads int
+	strategy      Strategy
+	hasStrat      bool
+	telemetry     *Telemetry
 }
 
 // Option configures RunTableWith and NewEngine. Options not meaningful
@@ -86,6 +95,17 @@ func WithWorkers(n int) Option {
 // WithBatchSize sets how many tasks travel per farm message.
 func WithBatchSize(n int) Option {
 	return func(c *config) { c.batchSize = n }
+}
+
+// WithKernelThreads sets the multicore pricing kernel's goroutine count
+// for the claims an engine prices: the live risk engine stamps the value
+// onto every task whose problem does not already carry a "threads"
+// parameter, so each worker rank shards its Monte Carlo path loops over
+// n cores. Prices are unaffected — the kernel's shard decomposition is
+// thread-invariant. See also SetKernelThreads for the process-wide
+// default.
+func WithKernelThreads(n int) Option {
+	return func(c *config) { c.kernelThreads = n }
 }
 
 // WithMaxCPUs truncates a table sweep's CPU counts, so quick benchmarks
@@ -131,5 +151,5 @@ func NewEngine(opts ...Option) *RiskEngine {
 	for _, o := range opts {
 		o(&c)
 	}
-	return &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, Telemetry: c.telemetry}
+	return &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, KernelThreads: c.kernelThreads, Telemetry: c.telemetry}
 }

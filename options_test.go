@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"riskbench"
+	"riskbench/internal/portfolio"
 )
 
 // TestRunTableWithTelemetry is the headline contract: a sweep run with a
@@ -166,5 +167,41 @@ func TestSentinelsExported(t *testing.T) {
 	_, err := p.Compute()
 	if !errors.Is(err, riskbench.ErrUnknownMethod) {
 		t.Fatalf("errors.Is(%v, ErrUnknownMethod) = false", err)
+	}
+}
+
+// TestNewEngineKernelThreads checks the WithKernelThreads plumbing end to
+// end: the engine stamps the thread count onto its tasks, the workers
+// price on the multicore kernel, and the estimate matches a serial run
+// bit for bit (the kernel's determinism contract).
+func TestNewEngineKernelThreads(t *testing.T) {
+	mc := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).SetOption(riskbench.OptCallEuro).
+		SetMethod(riskbench.MethodMCEuro).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1).Set("paths", 5000)
+	pf := &riskbench.Portfolio{Name: "mc", Items: []portfolio.Item{
+		{Name: "mc-call", Problem: mc, Cost: 1},
+	}}
+
+	reg := riskbench.NewTelemetry()
+	riskbench.SetTelemetry(reg)
+	defer riskbench.SetTelemetry(nil)
+
+	run := func(threads int) *riskbench.Valuation {
+		eng := riskbench.NewEngine(riskbench.WithWorkers(2), riskbench.WithKernelThreads(threads))
+		val, err := eng.Revalue(pf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return val
+	}
+	serial := run(1)
+	pooled := run(4)
+	if serial.Base[0] != pooled.Base[0] {
+		t.Errorf("kernel threads changed the price: %v vs %v", serial.Base[0], pooled.Base[0])
+	}
+	if reg.Snapshot().Counters["premia.kernel.runs"] == 0 {
+		t.Error("kernel never ran under the engine")
 	}
 }
