@@ -1,7 +1,9 @@
 # Developer entry points. `make check` is the recommended pre-commit
 # gate: tier-1 build+test, vet, and a race pass over the packages with
 # real concurrency (the farm's goroutine ranks, the message transports,
-# the lock-free telemetry primitives, and the multicore pricing kernel).
+# the lock-free telemetry primitives, the multicore pricing kernel, the
+# risk engine's batch pricer, and the serving layer's batcher, cache,
+# singleflight and admission control).
 
 GO ?= go
 
@@ -17,7 +19,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia
+	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia ./internal/risk ./internal/serve
 
 check: build vet test race
 
@@ -27,3 +29,4 @@ check: build vet test race
 bench:
 	$(GO) test -bench 'BenchmarkTable|BenchmarkAblation' -benchtime 1x .
 	$(GO) test -bench 'BenchmarkKernel' -benchtime 1x ./internal/premia
+	$(GO) test -bench 'BenchmarkServeBatching' -benchtime 1x ./internal/serve

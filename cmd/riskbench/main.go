@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"syscall"
 	"sync"
 	"time"
 
@@ -58,9 +59,9 @@ func main() {
 	)
 	flag.Parse()
 
-	// Ctrl-C cancels the run cooperatively: masters stop dispatching,
-	// drain in-flight batches and shut their workers down.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM cancels the run cooperatively: masters stop
+	// dispatching, drain in-flight batches and shut their workers down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// reg is nil (a no-op sink) unless -telemetry is given.

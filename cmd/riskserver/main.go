@@ -1,0 +1,108 @@
+// Command riskserver runs the production pricing service: an HTTP/JSON
+// front end over the live local farm, with dynamic micro-batching, a
+// content-addressed result cache and admission control.
+//
+// Start it:
+//
+//	riskserver -addr :8080 -workers 8 -batch 16 -cache 65536
+//
+// Price an option:
+//
+//	curl -s localhost:8080/price -d '{"model":"BlackScholes1dim",
+//	  "option":"CallEuro","method":"CF_Call",
+//	  "params":{"S0":100,"r":0.05,"sigma":0.2,"K":100,"T":1}}'
+//
+// Price a book in one request (problems coalesce into farm batches and
+// duplicates are priced once):
+//
+//	curl -s localhost:8080/batch -d '{"problems":[...]}'
+//
+// Health and metrics:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (healthz flips to
+// 503 so load balancers rotate the instance out), in-flight farm
+// batches finish, and only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/premia"
+	"riskbench/internal/risk"
+	"riskbench/internal/serve"
+	"riskbench/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "address to serve HTTP on")
+		workers     = flag.Int("workers", runtime.NumCPU(), "pricing goroutines per farm batch")
+		batch       = flag.Int("batch", 16, "micro-batch flush size and tasks per farm message")
+		maxDelay    = flag.Duration("maxdelay", 2*time.Millisecond, "max wait for a micro-batch to fill before flushing")
+		cacheSize   = flag.Int("cache", serve.DefaultCacheSize, "result cache capacity in entries (negative disables)")
+		maxInflight = flag.Int("maxinflight", 256, "admitted concurrent requests before shedding with 429")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pricing deadline")
+		kernel      = flag.Int("kernelthreads", 0, "multicore kernel threads per pricing task (0 = serial)")
+		drainWait   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight work on shutdown")
+	)
+	flag.Parse()
+
+	// SIGINT/SIGTERM start the cooperative drain instead of killing the
+	// process mid-batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := telemetry.Default
+	premia.SetTelemetry(reg)
+	mpi.SetTelemetry(reg)
+
+	srv := serve.New(serve.Config{
+		Engine:         &risk.Engine{Workers: *workers, BatchSize: *batch, KernelThreads: *kernel, Telemetry: reg},
+		MaxBatch:       *batch,
+		MaxDelay:       *maxDelay,
+		CacheSize:      *cacheSize,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *timeout,
+		Telemetry:      reg,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "riskserver: serving on %s (workers=%d batch=%d cache=%d maxinflight=%d)\n",
+		*addr, *workers, *batch, *cacheSize, *maxInflight)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "riskserver: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "riskserver: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "riskserver: drain: %v (forcing)\n", err)
+		_ = srv.Close()
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "riskserver: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "riskserver: drained, bye")
+}

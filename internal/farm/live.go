@@ -59,6 +59,12 @@ func (LiveExecutor) Execute(name string, payload []byte, cost float64, size int)
 	}
 	h := resultHash(name, res.Price, res.PriceCI, res.Delta, res.Work)
 	h.Set("seconds", nsp.Scalar(time.Since(start).Seconds()))
+	// hasdelta distinguishes "delta is 0" from "method computes no delta",
+	// so consumers rebuilding a premia.Result (the serving layer's cache)
+	// keep full fidelity.
+	if res.HasDelta {
+		h.Set("hasdelta", nsp.Scalar(1))
+	}
 	return h, nil
 }
 

@@ -1,0 +1,44 @@
+package premia
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// ContentKey returns the problem's content address: a hex SHA-256 of the
+// canonical encoding of (asset, model, option, method) plus every
+// parameter in sorted key order, with values hashed by their exact IEEE
+// 754 bit pattern. Two problems share a key if and only if they would
+// compute the same thing, which makes the key safe to use as a cache
+// identity for pricing results — the Monte Carlo seed halves ("seed",
+// "seedhi") are ordinary parameters and therefore part of the address.
+//
+// The one exception is the "threads" parameter: it selects how many
+// cores the multicore pricing kernel shards the path loop over, and the
+// kernel's fixed shard decomposition makes results bit-identical across
+// thread counts (see parallel.go), so it is excluded — a price computed
+// on 8 threads is a valid cache hit for the same problem on 1.
+func (p *Problem) ContentKey() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeStr(p.Asset)
+	writeStr(p.Model)
+	writeStr(p.Option)
+	writeStr(p.Method)
+	for _, k := range p.Params.Keys() {
+		if k == kernelThreadsKey {
+			continue
+		}
+		writeStr(k)
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.Params[k]))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

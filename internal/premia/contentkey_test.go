@@ -1,0 +1,67 @@
+package premia
+
+import "testing"
+
+func ckProblem() *Problem {
+	return New().
+		SetModel(ModelBS1D).
+		SetOption(OptCallEuro).
+		SetMethod(MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1)
+}
+
+func TestContentKeyDeterministic(t *testing.T) {
+	a, b := ckProblem(), ckProblem()
+	if a.ContentKey() != b.ContentKey() {
+		t.Fatal("identical problems hash differently")
+	}
+	if got := a.Clone().ContentKey(); got != a.ContentKey() {
+		t.Fatal("clone hashes differently")
+	}
+	if len(a.ContentKey()) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(a.ContentKey()))
+	}
+}
+
+func TestContentKeyInsertionOrderIrrelevant(t *testing.T) {
+	a := New().SetModel(ModelBS1D).SetOption(OptCallEuro).SetMethod(MethodCFCall).
+		Set("S0", 100).Set("K", 90)
+	b := New().SetModel(ModelBS1D).SetOption(OptCallEuro).SetMethod(MethodCFCall).
+		Set("K", 90).Set("S0", 100)
+	if a.ContentKey() != b.ContentKey() {
+		t.Fatal("parameter insertion order changed the key")
+	}
+}
+
+func TestContentKeySensitivity(t *testing.T) {
+	base := ckProblem().ContentKey()
+	cases := map[string]*Problem{
+		"param value":  ckProblem().Set("K", 101),
+		"extra param":  ckProblem().Set("q", 0.01),
+		"method":       ckProblem().SetMethod(MethodMCEuro),
+		"option":       ckProblem().SetOption(OptPutEuro),
+		"seed":         ckProblem().Set("seed", 42),
+		"64-bit seed":  ckProblem().SetSeed(1 << 40),
+		"64-bit seed2": ckProblem().SetSeed(1<<40 + 1),
+	}
+	seen := map[string]string{"base": base}
+	for name, p := range cases {
+		k := p.ContentKey()
+		for prev, pk := range seen {
+			if k == pk {
+				t.Fatalf("%q collides with %q", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+}
+
+// The kernel thread count never changes a price (the shard decomposition
+// is thread-invariant), so it must not change the content address either:
+// a warm cache entry priced on 8 threads serves the serial request.
+func TestContentKeyIgnoresThreads(t *testing.T) {
+	if ckProblem().ContentKey() != ckProblem().Set("threads", 8).ContentKey() {
+		t.Fatal("threads parameter changed the content key")
+	}
+}

@@ -33,6 +33,13 @@ type Engine struct {
 	// (risk.build/risk.farm/risk.scatter under risk.revalue), task and
 	// scenario counters, and per-scenario work-unit gauges.
 	Telemetry *telemetry.Registry
+	// Cache, when non-nil, is a content-addressed store of pricing
+	// results. PriceBatch reads through it and writes fresh results back;
+	// RevalueContext reuses cached base-scenario prices (the unshifted
+	// problems that repeat verbatim across revaluation runs) and stores
+	// the ones it computes. Scenario-shifted problems have distinct
+	// content keys and always price fresh.
+	Cache PriceCache
 }
 
 func (e Engine) workers() int {
@@ -148,20 +155,8 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 	// Build the cross product of tasks.
 	buildSpan := revSpan.StartChild("risk.build")
 	var tasks []farm.Task
-	// stamp applies the engine's kernel thread count to a task's problem,
-	// cloning first so the caller's portfolio is never mutated; an
-	// explicit per-problem "threads" parameter wins.
-	stamp := func(p *premia.Problem) *premia.Problem {
-		if e.KernelThreads <= 0 {
-			return p
-		}
-		if _, ok := p.Params["threads"]; ok {
-			return p
-		}
-		return p.Clone().Set("threads", float64(e.KernelThreads))
-	}
 	addTask := func(scIdx int, item portfolio.Item, p *premia.Problem) error {
-		p = stamp(p)
+		p = e.stampThreads(p)
 		h, err := p.ToNsp()
 		if err != nil {
 			return err
@@ -180,9 +175,28 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 	for s := range skipped {
 		skipped[s] = make([]bool, len(pf.Items))
 	}
+	// baseKey[i] is claim i's content key, filled only when the engine
+	// has a cache: cached base prices skip the farm entirely, computed
+	// ones are stored on the way out.
+	var baseKey []string
+	if e.Cache != nil {
+		baseKey = make([]string, len(pf.Items))
+	}
 	for i, it := range pf.Items {
-		if err := addTask(-1, it, it.Problem); err != nil {
-			return nil, err
+		cachedBase := false
+		if e.Cache != nil {
+			baseKey[i] = it.Problem.ContentKey()
+			if res, ok := e.Cache.Get(baseKey[i]); ok {
+				val.Base[i] = res.Price
+				reg.Counter("risk.base_cache_hits").Add(1)
+				baseKey[i] = "" // nothing to store back
+				cachedBase = true
+			}
+		}
+		if !cachedBase {
+			if err := addTask(-1, it, it.Problem); err != nil {
+				return nil, err
+			}
 		}
 		for s, sc := range scenarios {
 			if !sc.AppliesTo(it.Problem) {
@@ -274,6 +288,11 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 		}
 		if scIdx == 0 {
 			val.Base[i] = price
+			if e.Cache != nil && baseKey[i] != "" {
+				if res, err := resultFromFarm(r); err == nil {
+					e.Cache.Put(baseKey[i], res)
+				}
+			}
 		} else {
 			val.Values[scIdx-1][i] = price
 		}

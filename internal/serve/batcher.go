@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"riskbench/internal/premia"
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
+)
+
+// PriceFunc prices a batch of problems and returns index-aligned
+// outcomes. risk.Engine.PriceBatch is the production implementation;
+// tests substitute stubs to count kernel evaluations.
+type PriceFunc func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error)
+
+// priceRequest is one problem waiting for a batch slot. done is
+// buffered, so the batcher's reply never blocks even when the requester
+// has abandoned its deadline.
+type priceRequest struct {
+	problem *premia.Problem
+	done    chan priceResponse
+}
+
+type priceResponse struct {
+	outcome risk.PriceOutcome
+	err     error // batch-level failure (transport, cancellation)
+}
+
+// batcher coalesces single-problem requests into farm batches: it
+// flushes whenever maxBatch requests have accumulated or maxDelay has
+// passed since the first request of the current batch — the dynamic
+// version of the farm's BatchSize bunching, applied to request traffic
+// instead of a pre-built portfolio.
+//
+// Flushes run synchronously on the batcher goroutine; while one batch
+// is pricing, later arrivals accumulate in the bounded input queue and
+// form the next batch. Intra-batch parallelism comes from the engine's
+// farm workers, inter-request dedup from the server's singleflight
+// layer above.
+type batcher struct {
+	price    PriceFunc
+	maxBatch int
+	maxDelay time.Duration
+	reg      *telemetry.Registry
+	ctx      context.Context
+	in       chan *priceRequest
+	exited   chan struct{}
+}
+
+func newBatcher(ctx context.Context, price PriceFunc, maxBatch int, maxDelay time.Duration, queue int, reg *telemetry.Registry) *batcher {
+	b := &batcher{
+		price:    price,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		reg:      reg,
+		ctx:      ctx,
+		in:       make(chan *priceRequest, queue),
+		exited:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// submit enqueues a request without blocking; false means the queue is
+// full and the caller should shed load (429).
+func (b *batcher) submit(r *priceRequest) bool {
+	select {
+	case b.in <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+// submitWait enqueues a request, blocking until there is queue space or
+// the context ends — backpressure for callers that fan one admitted
+// request into many problems (the /batch endpoint).
+func (b *batcher) submitWait(ctx context.Context, r *priceRequest) error {
+	select {
+	case b.in <- r:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops the batcher after flushing everything already queued. The
+// server guarantees no submit is concurrent with close (it drains
+// admitted requests first), so closing the channel is safe.
+func (b *batcher) close() {
+	close(b.in)
+	<-b.exited
+}
+
+func (b *batcher) loop() {
+	defer close(b.exited)
+	var (
+		buf     []*priceRequest
+		timer   *time.Timer
+		timeout <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+		if len(buf) == 0 {
+			return
+		}
+		batch := buf
+		buf = nil
+		b.reg.Observe("serve.batch.size", float64(len(batch)))
+		b.runBatch(batch)
+	}
+	for {
+		select {
+		case r, ok := <-b.in:
+			if !ok {
+				flush()
+				return
+			}
+			buf = append(buf, r)
+			if len(buf) >= b.maxBatch {
+				b.reg.Counter("serve.batch.flush_size").Add(1)
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(b.maxDelay)
+				timeout = timer.C
+			}
+		case <-timeout:
+			timer, timeout = nil, nil
+			b.reg.Counter("serve.batch.flush_delay").Add(1)
+			flush()
+		}
+	}
+}
+
+// runBatch prices one flushed batch and fans the outcomes back out.
+func (b *batcher) runBatch(batch []*priceRequest) {
+	problems := make([]*premia.Problem, len(batch))
+	for i, r := range batch {
+		problems[i] = r.problem
+	}
+	out, err := b.price(b.ctx, problems)
+	for i, r := range batch {
+		if err != nil {
+			r.done <- priceResponse{err: err}
+			continue
+		}
+		r.done <- priceResponse{outcome: out[i]}
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"riskbench/internal/risk"
+)
+
+// BenchmarkServeBatching measures request throughput of an in-process
+// server at micro-batch sizes 1, 16 and 64: the serving-layer analogue
+// of the farm's BatchSize sweep. Every request is a distinct cheap
+// closed-form problem, so the cache never hits and each request costs
+// one real pricing — what varies is how many ride per farm flush.
+//
+//	go test -bench BenchmarkServeBatching ./internal/serve
+func BenchmarkServeBatching(b *testing.B) {
+	for _, size := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			s := New(Config{
+				Engine:   &risk.Engine{Workers: 4, BatchSize: size},
+				MaxBatch: size,
+				MaxDelay: 200 * time.Microsecond,
+				// Distinct strikes → no cache reuse; keep the map small.
+				CacheSize:   1024,
+				MaxInflight: 4096,
+				MaxQueue:    4096,
+			})
+			defer s.Close()
+			var next atomic.Int64
+			// Many client goroutines per core, so batches can fill even
+			// on small machines — the point is coalescing concurrent
+			// requests, not saturating CPUs.
+			b.SetParallelism(128)
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := 50 + float64(next.Add(1)%100000)/1000
+					w := postJSON(s, "/price", cfBody(k))
+					if w.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", w.Code, w.Body.String())
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"sync"
+
+	"riskbench/internal/risk"
+)
+
+// flightResult is what a completed flight hands to its waiters.
+type flightResult struct {
+	outcome risk.PriceOutcome
+	err     error
+}
+
+// flightCall is one in-flight computation of a content key. The leader
+// closes done exactly once, after res is set.
+type flightCall struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup suppresses duplicate in-flight computations: for each
+// content key, the first caller becomes the leader and actually prices;
+// concurrent callers of the same key wait for the leader's result. This
+// is the "singleflight" contract — N concurrent identical requests
+// produce exactly one kernel evaluation — without the cache having to
+// hold placeholder entries.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// begin registers interest in key. It returns the call and whether the
+// caller is the leader (and therefore responsible for calling finish).
+func (g *flightGroup) begin(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result to every waiter and retires the
+// key, so later requests start a fresh flight (or hit the cache).
+func (g *flightGroup) finish(key string, c *flightCall, res flightResult) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.res = res
+	close(c.done)
+}

@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"riskbench/internal/premia"
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
+)
+
+// Sentinel errors of the serving layer.
+var (
+	// ErrOverloaded reports that admission control shed the request:
+	// either the inflight limit or the batcher queue is full. HTTP
+	// callers see it as 429 + Retry-After.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrDraining reports that the server is shutting down and admits no
+	// new work. HTTP callers see it as 503.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Config assembles a Server. The zero value is usable: it prices on a
+// default risk.Engine with default batching, caching and admission
+// settings.
+type Config struct {
+	// Engine prices flushed batches via Engine.PriceBatch. Nil means a
+	// default engine (4 workers, batch 16, no cache of its own).
+	Engine *risk.Engine
+	// Price overrides Engine when non-nil — the test seam that lets load
+	// tests count kernel evaluations.
+	Price PriceFunc
+	// MaxBatch is the micro-batcher's flush size (default 16, the same
+	// bunching the paper's conclusion recommends for the farm).
+	MaxBatch int
+	// MaxDelay is how long the first request of a batch may wait for
+	// company before the batch flushes anyway (default 2ms).
+	MaxDelay time.Duration
+	// CacheSize is the result cache's total entry capacity; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// MaxInflight bounds concurrently admitted HTTP requests; beyond it
+	// requests get 429 + Retry-After (default 256).
+	MaxInflight int
+	// MaxQueue bounds the batcher's request queue (default 4×MaxBatch,
+	// at least MaxInflight).
+	MaxQueue int
+	// RequestTimeout caps each request's pricing deadline; the effective
+	// deadline is the tighter of this and the client's context
+	// (default 30s).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Telemetry receives the serve.* metrics; it is also what /metrics
+	// serves. Nil creates a private registry so /metrics always works.
+	Telemetry *telemetry.Registry
+}
+
+// Server is the pricing service: micro-batcher + content-addressed
+// cache + singleflight + admission control over a risk.Engine. Create
+// with New, expose with Handler, stop with Drain/Close.
+type Server struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	cache  *Cache // nil when disabled
+	flight flightGroup
+	batch  *batcher
+	mux    *http.ServeMux
+	cancel context.CancelFunc
+
+	inflight atomic.Int64
+
+	// drainMu orders admission against drain: requests join the reqs
+	// WaitGroup under the read lock, Drain flips draining under the
+	// write lock, so after Drain acquires the lock no new request can
+	// register.
+	drainMu  sync.RWMutex
+	draining bool
+	reqs     sync.WaitGroup
+	stopped  sync.Once
+}
+
+// New builds and starts a Server (its batcher goroutine runs until
+// Drain or Close).
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxBatch
+		if cfg.MaxQueue < cfg.MaxInflight {
+			cfg.MaxQueue = cfg.MaxInflight
+		}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	s := &Server{cfg: cfg, reg: cfg.Telemetry}
+	if cfg.CacheSize >= 0 {
+		s.cache = NewCache(cfg.CacheSize, s.reg)
+	}
+	price := cfg.Price
+	if price == nil {
+		eng := cfg.Engine
+		if eng == nil {
+			eng = &risk.Engine{}
+		}
+		if eng.Telemetry == nil {
+			eng.Telemetry = s.reg
+		}
+		price = eng.PriceBatch
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.batch = newBatcher(ctx, price, cfg.MaxBatch, cfg.MaxDelay, cfg.MaxQueue, s.reg)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /price", s.handlePrice)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", telemetry.Handler(s.reg))
+	return s
+}
+
+// Handler returns the server's HTTP surface: POST /price, POST /batch,
+// GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// PriceProblem prices one problem through the full serving path —
+// cache, singleflight, micro-batcher, farm — waiting for queue space
+// rather than shedding load. Infrastructure failures (drain, deadline)
+// come back as the error; per-problem validation and pricing failures
+// ride in the outcome's Err field.
+func (s *Server) PriceProblem(ctx context.Context, p *premia.Problem) (risk.PriceOutcome, error) {
+	return s.priceProblem(ctx, p, true)
+}
+
+// priceProblem implements PriceProblem. wait selects the queue-full
+// behaviour: block (in-process callers, /batch fan-out — backpressure)
+// or fail with ErrOverloaded (the /price endpoint — load shedding).
+func (s *Server) priceProblem(ctx context.Context, p *premia.Problem, wait bool) (risk.PriceOutcome, error) {
+	if err := p.Validate(); err != nil {
+		return risk.PriceOutcome{Err: err}, nil
+	}
+	key := p.ContentKey()
+	if s.cache != nil {
+		if res, ok := s.cache.Get(key); ok {
+			return risk.PriceOutcome{Result: res, Cached: true}, nil
+		}
+	}
+	call, leader := s.flight.begin(key)
+	if leader && s.cache != nil {
+		// Double-check after winning leadership: the previous leader may
+		// have settled (and cached) between our miss and our begin, and
+		// pricing again would break the one-evaluation-per-key contract.
+		if res, ok := s.cache.Get(key); ok {
+			out := risk.PriceOutcome{Result: res, Cached: true}
+			s.flight.finish(key, call, flightResult{outcome: out})
+			return out, nil
+		}
+	}
+	if !leader {
+		s.reg.Counter("serve.singleflight.shared").Add(1)
+		select {
+		case <-call.done:
+			return call.res.outcome, call.res.err
+		case <-ctx.Done():
+			return risk.PriceOutcome{}, ctx.Err()
+		}
+	}
+	req := &priceRequest{problem: p, done: make(chan priceResponse, 1)}
+	if wait {
+		if err := s.batch.submitWait(ctx, req); err != nil {
+			s.flight.finish(key, call, flightResult{err: err})
+			return risk.PriceOutcome{}, err
+		}
+	} else if !s.batch.submit(req) {
+		s.reg.Counter("serve.rejected.queue").Add(1)
+		s.flight.finish(key, call, flightResult{err: ErrOverloaded})
+		return risk.PriceOutcome{}, ErrOverloaded
+	}
+	select {
+	case resp := <-req.done:
+		return s.settle(key, call, resp)
+	case <-ctx.Done():
+		// The leader's deadline expired but the batch is still pricing.
+		// Hand completion to a goroutine so waiters unblock and the
+		// result still lands in the cache — the work is not wasted.
+		go func() {
+			resp := <-req.done
+			s.settle(key, call, resp)
+		}()
+		return risk.PriceOutcome{}, ctx.Err()
+	}
+}
+
+// settle publishes a batch response to the cache and the flight group.
+func (s *Server) settle(key string, call *flightCall, resp priceResponse) (risk.PriceOutcome, error) {
+	if resp.err == nil && resp.outcome.Err == nil && s.cache != nil {
+		s.cache.Put(key, resp.outcome.Result)
+	}
+	s.flight.finish(key, call, flightResult{outcome: resp.outcome, err: resp.err})
+	return resp.outcome, resp.err
+}
+
+// admit registers one request against the inflight limit; release must
+// be called iff it returns nil.
+func (s *Server) admit() error {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.reg.Counter("serve.rejected.inflight").Add(1)
+		return ErrOverloaded
+	}
+	s.reqs.Add(1)
+	s.reg.Gauge("serve.inflight").Set(float64(s.inflight.Load()))
+	return nil
+}
+
+func (s *Server) release() {
+	s.reg.Gauge("serve.inflight").Set(float64(s.inflight.Add(-1)))
+	s.reqs.Done()
+}
+
+// Drain gracefully shuts the server down: stop admitting, let every
+// admitted request (and the farm batches under it) finish, then stop
+// the batcher. It returns ctx's error if the wait is cut short, leaving
+// the batcher running so in-flight responses are still delivered.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.reqs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.stopped.Do(func() {
+		s.batch.close()
+		s.cancel()
+	})
+	return nil
+}
+
+// Close force-stops the server: cancel in-flight farm batches, then
+// drain. Requests caught mid-batch complete with a cancellation error
+// rather than being dropped silently.
+func (s *Server) Close() error {
+	s.cancel()
+	return s.Drain(context.Background())
+}
+
+// problemJSON is the wire form of a pricing problem.
+type problemJSON struct {
+	Asset  string             `json:"asset,omitempty"`
+	Model  string             `json:"model"`
+	Option string             `json:"option"`
+	Method string             `json:"method"`
+	Params map[string]float64 `json:"params,omitempty"`
+	// Seed, when set, installs a full-width 64-bit Monte Carlo seed via
+	// Problem.SetSeed (the split "seed"/"seedhi" halves).
+	Seed *uint64 `json:"seed,omitempty"`
+}
+
+func (j problemJSON) toProblem() *premia.Problem {
+	p := premia.New()
+	if j.Asset != "" {
+		p.SetAsset(j.Asset)
+	}
+	p.SetModel(j.Model).SetOption(j.Option).SetMethod(j.Method)
+	for k, v := range j.Params {
+		p.Set(k, v)
+	}
+	if j.Seed != nil {
+		p.SetSeed(*j.Seed)
+	}
+	return p
+}
+
+// resultJSON is the wire form of one pricing outcome.
+type resultJSON struct {
+	Price    float64 `json:"price"`
+	PriceCI  float64 `json:"price_ci,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
+	HasDelta bool    `json:"has_delta,omitempty"`
+	Work     float64 `json:"work,omitempty"`
+	Cached   bool    `json:"cached"`
+	Error    string  `json:"error,omitempty"`
+}
+
+func toResultJSON(o risk.PriceOutcome) resultJSON {
+	if o.Err != nil {
+		return resultJSON{Error: o.Err.Error()}
+	}
+	r := o.Result
+	return resultJSON{Price: r.Price, PriceCI: r.PriceCI, Delta: r.Delta, HasDelta: r.HasDelta, Work: r.Work, Cached: o.Cached}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps serving errors onto HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
+}
+
+// requestContext derives the pricing deadline: the client context
+// capped by the configured per-request timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	if err := s.admit(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+	s.reg.Counter("serve.requests").Add(1)
+	start := s.reg.Now()
+	defer func() { s.reg.Observe("serve.request_seconds", s.reg.Now()-start) }()
+	var pj problemJSON
+	if err := json.NewDecoder(r.Body).Decode(&pj); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	out, err := s.priceProblem(ctx, pj.toProblem(), false)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if out.Err != nil {
+		writeJSON(w, http.StatusBadRequest, toResultJSON(out))
+		return
+	}
+	writeJSON(w, http.StatusOK, toResultJSON(out))
+}
+
+// maxBatchRequest bounds how many problems one /batch request may
+// carry; bigger books should page or use the engine library directly.
+const maxBatchRequest = 65536
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if err := s.admit(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer s.release()
+	s.reg.Counter("serve.requests").Add(1)
+	start := s.reg.Now()
+	defer func() { s.reg.Observe("serve.request_seconds", s.reg.Now()-start) }()
+	var body struct {
+		Problems []problemJSON `json:"problems"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(body.Problems) == 0 || len(body.Problems) > maxBatchRequest {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("want 1..%d problems, got %d", maxBatchRequest, len(body.Problems))})
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	// Fan every problem through the single-problem path concurrently:
+	// distinct problems fill micro-batches, duplicates coalesce in the
+	// flight group, warm ones hit the cache.
+	results := make([]resultJSON, len(body.Problems))
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	for i, pj := range body.Problems {
+		wg.Add(1)
+		go func(i int, pj problemJSON) {
+			defer wg.Done()
+			out, err := s.PriceProblem(ctx, pj.toProblem())
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			results[i] = toResultJSON(out)
+		}(i, pj)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		s.writeError(w, firstErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"riskbench/internal/premia"
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
+)
+
+// postJSON runs one request through the server's handler in process.
+func postJSON(s *Server, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func getPath(s *Server, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+const mcBody = `{"model":"BlackScholes1dim","option":"CallEuro","method":"MC_Euro",
+	"params":{"S0":100,"r":0.04,"sigma":0.2,"K":100,"T":1,"paths":4000},"seed":12345}`
+
+func cfBody(k float64) string {
+	return fmt.Sprintf(`{"model":"BlackScholes1dim","option":"CallEuro","method":"CF_Call",
+	"params":{"S0":100,"r":0.04,"sigma":0.2,"K":%g,"T":1}}`, k)
+}
+
+// countingEngine wraps a real engine's PriceBatch and counts how many
+// problems reach the kernel (i.e. were not absorbed by cache,
+// singleflight or batch dedup).
+func countingEngine(evals *atomic.Int64) PriceFunc {
+	eng := &risk.Engine{Workers: 4}
+	return func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error) {
+		evals.Add(int64(len(problems)))
+		return eng.PriceBatch(ctx, problems)
+	}
+}
+
+// The headline contract: N concurrent identical requests produce
+// exactly one kernel evaluation, and every response carries the same
+// bit-identical price.
+func TestSingleflightOneKernelEvaluation(t *testing.T) {
+	var evals atomic.Int64
+	reg := telemetry.New()
+	s := New(Config{Price: countingEngine(&evals), MaxDelay: time.Millisecond, Telemetry: reg})
+	defer s.Close()
+
+	const n = 32
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postJSON(s, "/price", mcBody)
+			codes[i], bodies[i] = w.Code, w.Body.String()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, codes[i], bodies[i])
+		}
+	}
+	var want resultJSON
+	if err := json.Unmarshal([]byte(bodies[0]), &want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		var got resultJSON
+		if err := json.Unmarshal([]byte(bodies[i]), &got); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Price) != math.Float64bits(want.Price) ||
+			math.Float64bits(got.PriceCI) != math.Float64bits(want.PriceCI) {
+			t.Fatalf("response %d differs: %s vs %s", i, bodies[i], bodies[0])
+		}
+	}
+	// The problems are identical: dedup must collapse them to one
+	// kernel evaluation however the requests landed in batches.
+	if got := evals.Load(); got != 1 {
+		t.Fatalf("kernel evaluations = %d, want exactly 1", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["serve.singleflight.shared"]+snap.Counters["serve.cache.hits"] != n-1 {
+		t.Fatalf("shared+hits = %d+%d, want %d duplicates absorbed",
+			snap.Counters["serve.singleflight.shared"], snap.Counters["serve.cache.hits"], n-1)
+	}
+
+	// A later request is a pure cache hit, bit-identical to the fresh price.
+	w := postJSON(s, "/price", mcBody)
+	var cached resultJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &cached); err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached {
+		t.Fatal("follow-up request missed the cache")
+	}
+	if math.Float64bits(cached.Price) != math.Float64bits(want.Price) {
+		t.Fatal("cached price is not bit-identical to the fresh price")
+	}
+	if got := evals.Load(); got != 1 {
+		t.Fatalf("cache hit still evaluated the kernel (evals=%d)", got)
+	}
+}
+
+// A burst over the admission limit gets 429 + Retry-After, not queue
+// collapse; the server keeps serving afterwards.
+func TestAdmissionControlBurst(t *testing.T) {
+	gate := make(chan struct{})
+	price := func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error) {
+		<-gate
+		out := make([]risk.PriceOutcome, len(problems))
+		for i := range out {
+			out[i] = risk.PriceOutcome{Result: premia.Result{Price: 1}}
+		}
+		return out, nil
+	}
+	reg := telemetry.New()
+	s := New(Config{Price: price, MaxInflight: 2, MaxBatch: 1, MaxDelay: time.Millisecond, Telemetry: reg})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	slow := make([]*httptest.ResponseRecorder, 2)
+	for i := range slow {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slow[i] = postJSON(s, "/price", cfBody(float64(90+i)))
+		}(i)
+	}
+	// Wait until both slow requests are admitted and counted inflight.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow requests never occupied the inflight slots")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The burst: everything beyond the limit is shed with 429.
+	for i := 0; i < 8; i++ {
+		w := postJSON(s, "/price", cfBody(float64(200 + i)))
+		if w.Code != http.StatusTooManyRequests {
+			t.Fatalf("burst request %d: status %d, want 429", i, w.Code)
+		}
+		if w.Header().Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+	if got := reg.Snapshot().Counters["serve.rejected.inflight"]; got != 8 {
+		t.Fatalf("rejected.inflight = %d, want 8", got)
+	}
+
+	close(gate)
+	wg.Wait()
+	for i, w := range slow {
+		if w.Code != http.StatusOK {
+			t.Fatalf("slow request %d: status %d body %s", i, w.Code, w.Body.String())
+		}
+	}
+	// No collapse: the server still prices after the burst.
+	if w := postJSON(s, "/price", cfBody(95)); w.Code != http.StatusOK {
+		t.Fatalf("post-burst request: status %d", w.Code)
+	}
+}
+
+// Drain lets every admitted request finish — zero dropped responses —
+// and refuses new work with 503.
+func TestDrainZeroDroppedResponses(t *testing.T) {
+	gate := make(chan struct{})
+	price := func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error) {
+		<-gate
+		out := make([]risk.PriceOutcome, len(problems))
+		for i, p := range problems {
+			out[i] = risk.PriceOutcome{Result: premia.Result{Price: p.Params["K"]}}
+		}
+		return out, nil
+	}
+	s := New(Config{Price: price, MaxInflight: 64, MaxBatch: 4, MaxDelay: time.Millisecond})
+
+	const n = 16
+	codes := make([]int, n)
+	prices := make([]resultJSON, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postJSON(s, "/price", cfBody(float64(50+i)))
+			codes[i] = w.Code
+			_ = json.Unmarshal(w.Body.Bytes(), &prices[i])
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests admitted", s.inflight.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Draining is visible immediately: health flips and new work is refused.
+	for {
+		if w := getPath(s, "/healthz"); w.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if w := postJSON(s, "/price", cfBody(99)); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", w.Code)
+	}
+
+	close(gate) // let the in-flight batches complete
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("in-flight request %d dropped: status %d", i, codes[i])
+		}
+		if prices[i].Price != float64(50+i) {
+			t.Fatalf("in-flight request %d got price %v, want %v", i, prices[i].Price, float64(50+i))
+		}
+	}
+}
+
+// End-to-end through the real engine: cached and uncached Monte Carlo
+// prices are bit-identical.
+func TestRealEngineCachedBitIdentical(t *testing.T) {
+	s := New(Config{Engine: &risk.Engine{Workers: 2}, MaxDelay: time.Millisecond})
+	defer s.Close()
+	w1 := postJSON(s, "/price", mcBody)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", w1.Code, w1.Body.String())
+	}
+	w2 := postJSON(s, "/price", mcBody)
+	var fresh, cached resultJSON
+	if err := json.Unmarshal(w1.Body.Bytes(), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(w2.Body.Bytes(), &cached); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached || !cached.Cached {
+		t.Fatalf("cached flags: first=%v second=%v", fresh.Cached, cached.Cached)
+	}
+	if math.Float64bits(fresh.Price) != math.Float64bits(cached.Price) ||
+		math.Float64bits(fresh.PriceCI) != math.Float64bits(cached.PriceCI) ||
+		math.Float64bits(fresh.Delta) != math.Float64bits(cached.Delta) {
+		t.Fatalf("cached result differs: %+v vs %+v", cached, fresh)
+	}
+	// Sanity: the MC price is in the Black–Scholes ballpark.
+	if fresh.Price < 5 || fresh.Price > 15 {
+		t.Fatalf("implausible MC price %v", fresh.Price)
+	}
+}
+
+func TestRequestDeadline(t *testing.T) {
+	price := func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error) {
+		time.Sleep(200 * time.Millisecond)
+		return make([]risk.PriceOutcome, len(problems)), nil
+	}
+	s := New(Config{Price: price, RequestTimeout: 20 * time.Millisecond, MaxBatch: 1, MaxDelay: time.Millisecond})
+	defer s.Close()
+	if w := postJSON(s, "/price", cfBody(90)); w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", w.Code)
+	}
+}
+
+func TestBatchEndpointDedupes(t *testing.T) {
+	var evals atomic.Int64
+	s := New(Config{Price: countingEngine(&evals), MaxDelay: time.Millisecond})
+	defer s.Close()
+	var sb strings.Builder
+	sb.WriteString(`{"problems":[`)
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(cfBody(float64(90 + i%4))) // 4 unique strikes, 3× each
+	}
+	sb.WriteString(`]}`)
+	w := postJSON(s, "/batch", sb.String())
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d body %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Results []resultJSON `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 12 {
+		t.Fatalf("got %d results, want 12", len(resp.Results))
+	}
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("result %d: %s", i, r.Error)
+		}
+		if math.Float64bits(r.Price) != math.Float64bits(resp.Results[i%4].Price) {
+			t.Fatalf("duplicate problem %d priced differently", i)
+		}
+	}
+	if got := evals.Load(); got != 4 {
+		t.Fatalf("kernel evaluations = %d, want 4 unique", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := New(Config{Price: func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error) {
+		return make([]risk.PriceOutcome, len(problems)), nil
+	}})
+	defer s.Close()
+	if w := postJSON(s, "/price", "{not json"); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", w.Code)
+	}
+	if w := postJSON(s, "/price", `{"model":"x","option":"y","method":"z"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown method: status %d", w.Code)
+	}
+	if w := postJSON(s, "/batch", `{"problems":[]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", w.Code)
+	}
+	if w := getPath(s, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", w.Code)
+	}
+	if w := getPath(s, "/metrics"); w.Code != http.StatusOK || !json.Valid(w.Body.Bytes()) {
+		t.Fatalf("metrics: status %d, valid JSON %v", w.Code, json.Valid(w.Body.Bytes()))
+	}
+}

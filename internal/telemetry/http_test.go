@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHandlerConcurrentWriters hammers the metrics endpoint while
+// counters, gauges, histograms and spans mutate from many goroutines.
+// Every response must be a complete, valid JSON snapshot — the handler
+// must never observe a torn registry. Run it under -race (the telemetry
+// package is in the Makefile's race target) to catch unsynchronized
+// snapshotting.
+func TestHandlerConcurrentWriters(t *testing.T) {
+	reg := New()
+	h := Handler(reg)
+
+	const (
+		writers  = 8
+		readers  = 4
+		requests = 50
+	)
+	var stop atomic.Bool
+
+	// Writers: mutate every metric kind, including creating new names on
+	// the fly so map growth races against snapshotting.
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			names := [...]string{"alpha", "beta", "gamma"}
+			for i := 0; !stop.Load(); i++ {
+				name := names[i%len(names)]
+				reg.Counter("hits." + name).Add(1)
+				reg.Gauge("depth." + name).Set(float64(i % 17))
+				reg.Histogram("lat." + name).Observe(float64(i%100) / 1000)
+				sp := reg.StartSpan("work." + name)
+				sp.End()
+				if w == 0 && i%97 == 0 {
+					// Occasionally a brand-new name, forcing map inserts.
+					reg.Counter(names[i%len(names)] + ".fresh").Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Readers: each of their responses must decode as a full snapshot.
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; i < requests; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("response %d: status %d", i, rec.Code)
+					continue
+				}
+				var snap Snapshot
+				if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+					t.Errorf("response %d: invalid JSON: %v", i, err)
+				}
+			}
+		}()
+	}
+
+	readerWG.Wait()
+	stop.Store(true)
+	writerWG.Wait()
+
+	// A final request after the dust settles must still be coherent and
+	// reflect the writers' activity.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+	if snap.Counters["hits.alpha"] == 0 {
+		t.Fatalf("final snapshot missing writer activity: %+v", snap.Counters)
+	}
+	if snap.Spans["work.alpha"].Count == 0 {
+		t.Fatalf("final snapshot missing span activity: %+v", snap.Spans)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"riskbench/internal/mpi"
 	"riskbench/internal/premia"
 	"riskbench/internal/risk"
+	"riskbench/internal/serve"
 	"riskbench/internal/telemetry"
 )
 
@@ -79,6 +80,9 @@ type config struct {
 	strategy      Strategy
 	hasStrat      bool
 	telemetry     *Telemetry
+	cacheSize     int
+	hasCache      bool
+	maxInflight   int
 }
 
 // Option configures RunTableWith and NewEngine. Options not meaningful
@@ -127,6 +131,24 @@ func WithTelemetry(reg *Telemetry) Option {
 	return func(c *config) { c.telemetry = reg }
 }
 
+// WithCache installs a sharded, content-addressed result cache holding
+// at most entries pricing results (entries <= 0 selects the default
+// size). On an engine, PriceBatch reads through it and RevalueContext
+// reuses cached base-scenario prices; on a pricing server it is the
+// serving-layer cache behind the singleflight group. Identical problems
+// — same (model, option, method, params incl. seed) content key —
+// return bit-identical cached results.
+func WithCache(entries int) Option {
+	return func(c *config) { c.cacheSize = entries; c.hasCache = true }
+}
+
+// WithMaxInflight bounds how many requests a pricing server admits
+// concurrently; beyond the bound requests are shed with HTTP 429 +
+// Retry-After instead of queueing without limit. Engines ignore it.
+func WithMaxInflight(n int) Option {
+	return func(c *config) { c.maxInflight = n }
+}
+
 // RunTableWith executes a table sweep under a context with options.
 // RunTable(spec) is shorthand for RunTableWith(context.Background(),
 // spec) with no options.
@@ -145,11 +167,52 @@ func RunTableWith(ctx context.Context, spec TableSpec, opts ...Option) (*Table, 
 }
 
 // NewEngine returns a live-farm risk engine configured by the options
-// (worker count, batch size, telemetry sink).
+// (worker count, batch size, kernel threads, result cache, telemetry
+// sink).
 func NewEngine(opts ...Option) *RiskEngine {
 	var c config
 	for _, o := range opts {
 		o(&c)
 	}
-	return &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, KernelThreads: c.kernelThreads, Telemetry: c.telemetry}
+	e := &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, KernelThreads: c.kernelThreads, Telemetry: c.telemetry}
+	if c.hasCache {
+		e.Cache = serve.NewCache(c.cacheSize, c.telemetry)
+	}
+	return e
+}
+
+// PriceOutcome is one problem's slot in an Engine.PriceBatch answer:
+// the result, whether it came from the cache, and the per-problem
+// error.
+type PriceOutcome = risk.PriceOutcome
+
+// PricingServer is the production pricing service: an HTTP/JSON front
+// end (POST /price, POST /batch, GET /healthz, GET /metrics) whose
+// dynamic micro-batcher coalesces concurrent requests into farm
+// batches, with a content-addressed result cache, singleflight
+// suppression of duplicate in-flight prices, and admission control
+// (429 + Retry-After on overload). Stop it with Drain for a graceful
+// shutdown that lets in-flight farm batches finish.
+type PricingServer = serve.Server
+
+// NewPricingServer builds and starts a pricing service over an engine
+// configured by the options: worker count, farm batch size (also the
+// micro-batcher's flush size), kernel threads, cache capacity
+// (WithCache), admission bound (WithMaxInflight) and telemetry sink.
+// Serve its Handler with any http.Server; see cmd/riskserver for the
+// deployable wrapper.
+func NewPricingServer(opts ...Option) *PricingServer {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	eng := &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, KernelThreads: c.kernelThreads, Telemetry: c.telemetry}
+	cfg := serve.Config{Engine: eng, MaxBatch: c.batchSize, MaxInflight: c.maxInflight, Telemetry: c.telemetry}
+	if c.hasCache {
+		cfg.CacheSize = c.cacheSize
+		if cfg.CacheSize < 0 {
+			cfg.CacheSize = 0 // <= 0 means default size, as WithCache documents
+		}
+	}
+	return serve.New(cfg)
 }

@@ -205,3 +205,81 @@ func TestNewEngineKernelThreads(t *testing.T) {
 		t.Error("kernel never ran under the engine")
 	}
 }
+
+// TestEngineWithCache exercises the façade's cache option: a second
+// PriceBatch over the same problems answers from the cache with
+// bit-identical results.
+func TestEngineWithCache(t *testing.T) {
+	eng := riskbench.NewEngine(riskbench.WithWorkers(2), riskbench.WithCache(128))
+	probs := []*riskbench.Problem{
+		riskbench.NewProblem().
+			SetModel(riskbench.ModelBS1D).SetOption(riskbench.OptCallEuro).
+			SetMethod(riskbench.MethodMCEuro).
+			Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+			Set("K", 100).Set("T", 1).Set("paths", 2000).SetSeed(99),
+	}
+	cold, err := eng.PriceBatch(context.Background(), probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.PriceBatch(context.Background(), probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold[0].Err != nil || warm[0].Err != nil {
+		t.Fatalf("pricing errors: %v / %v", cold[0].Err, warm[0].Err)
+	}
+	if !warm[0].Cached {
+		t.Fatal("second PriceBatch missed the cache")
+	}
+	if warm[0].Result != cold[0].Result {
+		t.Fatalf("cached result %+v differs from fresh %+v", warm[0].Result, cold[0].Result)
+	}
+}
+
+// TestNewPricingServer drives the façade-built server end to end: a
+// price request, a cache hit, health and metrics.
+func TestNewPricingServer(t *testing.T) {
+	reg := riskbench.NewTelemetry()
+	srv := riskbench.NewPricingServer(
+		riskbench.WithWorkers(2), riskbench.WithBatchSize(4),
+		riskbench.WithCache(1024), riskbench.WithMaxInflight(32),
+		riskbench.WithTelemetry(reg))
+	defer srv.Close()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/price", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, req)
+		return w
+	}
+	body := `{"model":"BlackScholes1dim","option":"CallEuro","method":"CF_Call",
+		"params":{"S0":100,"r":0.05,"sigma":0.2,"K":100,"T":1}}`
+	w1 := post(body)
+	if w1.Code != 200 {
+		t.Fatalf("first price: status %d body %s", w1.Code, w1.Body.String())
+	}
+	w2 := post(body)
+	var r1, r2 struct {
+		Price  float64 `json:"price"`
+		Cached bool    `json:"cached"`
+	}
+	if err := json.Unmarshal(w1.Body.Bytes(), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(w2.Body.Bytes(), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached || r2.Price != r1.Price {
+		t.Fatalf("cache replay mismatch: %+v vs %+v", r2, r1)
+	}
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	if reg.Snapshot().Counters["serve.requests"] != 2 {
+		t.Errorf("serve.requests = %d, want 2", reg.Snapshot().Counters["serve.requests"])
+	}
+}
