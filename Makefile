@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench smoke
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,19 @@ test:
 vet:
 	$(GO) vet ./...
 
+# race covers the packages with real concurrency, including the
+# telemetry span-reassembly and trace-table tests, the farm's
+# cross-process span shipping, and the serve-over-TCP trace integration
+# test.
 race:
 	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia ./internal/risk ./internal/serve
 
 check: build vet test race
+
+# smoke boots riskserver, prices one request, and asserts /healthz,
+# /metrics, /metrics.json, /debug/traces and /debug/pprof all respond.
+smoke:
+	sh scripts/smoke.sh
 
 # bench is a single-iteration smoke pass over the sweep and kernel
 # benchmarks; drop -benchtime to measure (the kernel speedup comparison

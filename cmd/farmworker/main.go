@@ -38,7 +38,7 @@ func main() {
 		n         = flag.Int("n", 1000, "master mode: toy portfolio size")
 		stratName = flag.String("strategy", "serialized", "full | serialized (NFS needs a real shared mount)")
 		batch     = flag.Int("batch", 1, "tasks per message batch")
-		telAddr   = flag.String("telemetry", "", "serve a JSON metrics snapshot over HTTP on this address (e.g. :9090)")
+		telAddr   = flag.String("telemetry", "", "serve metrics (Prometheus /metrics, JSON /metrics.json) and /debug/traces on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -54,11 +54,11 @@ func main() {
 		premia.SetTelemetry(reg)
 		mpi.SetTelemetry(reg)
 		go func() {
-			if err := http.ListenAndServe(*telAddr, telemetry.Handler(reg)); err != nil {
+			if err := http.ListenAndServe(*telAddr, telemetry.Mux(reg)); err != nil {
 				fmt.Fprintf(os.Stderr, "farmworker: telemetry server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "telemetry snapshot on http://%s/\n", *telAddr)
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/ (/metrics, /metrics.json, /debug/traces)\n", *telAddr)
 	}
 
 	switch {
@@ -78,6 +78,12 @@ func fatalf(format string, args ...any) {
 }
 
 func runWorker(addr string, reg *telemetry.Registry) {
+	// Workers always carry a registry, even without -telemetry: a traced
+	// batch from the master needs worker-side spans to exist before they
+	// can ship back for reassembly.
+	if reg == nil {
+		reg = telemetry.New()
+	}
 	c, err := mpi.DialHub(addr)
 	if err != nil {
 		fatalf("%v", err)
@@ -126,11 +132,13 @@ func runMaster(ctx context.Context, addr string, size int, pfName string, n int,
 	if err := hub.WaitWorkers(); err != nil {
 		fatalf("%v", err)
 	}
+	root := reg.StartTrace("bench.run")
 	start := time.Now()
-	results, err := farm.RunMaster(ctx, hub, tasks, farm.LiveLoader{}, farm.Options{Strategy: strat, BatchSize: batch, Telemetry: reg})
+	results, err := farm.RunMaster(telemetry.ContextWithTrace(ctx, root.Context()), hub, tasks, farm.LiveLoader{}, farm.Options{Strategy: strat, BatchSize: batch, Telemetry: reg})
 	if err != nil {
 		fatalf("master: %v", err)
 	}
+	root.End()
 	sum := 0.0
 	for _, r := range results {
 		price, _ := farm.ResultField(r, "price")

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,7 +56,8 @@ func main() {
 		util      = flag.Bool("utilization", false, "report worker utilization across CPU counts on the simulator")
 		selftest  = flag.Bool("selftest", false, "run the §4.1 non-regression suite live and report per-method results")
 		calibrate = flag.Bool("calibrate", false, "measure per-class costs on this machine before simulating (-table mode)")
-		telAddr   = flag.String("telemetry", "", "serve a JSON metrics snapshot over HTTP on this address (e.g. :9090)")
+		telAddr   = flag.String("telemetry", "", "serve metrics (Prometheus /metrics, JSON /metrics.json) and /debug/traces on this address (e.g. :9090)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -telemetry address")
 	)
 	flag.Parse()
 
@@ -70,12 +72,18 @@ func main() {
 		reg = telemetry.Default
 		premia.SetTelemetry(reg)
 		mpi.SetTelemetry(reg)
+		handler := http.Handler(telemetry.Mux(reg))
+		if *pprofOn {
+			handler = withPprof(handler)
+		}
 		go func() {
-			if err := http.ListenAndServe(*telAddr, telemetry.Handler(reg)); err != nil {
+			if err := http.ListenAndServe(*telAddr, handler); err != nil {
 				fmt.Fprintf(os.Stderr, "riskbench: telemetry server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "telemetry snapshot on http://%s/\n", *telAddr)
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/ (/metrics, /metrics.json, /debug/traces)\n", *telAddr)
+	} else if *pprofOn {
+		fatalf("-pprof needs -telemetry <addr> to serve on")
 	}
 
 	switch {
@@ -118,6 +126,20 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "riskbench: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// withPprof mounts the net/http/pprof handlers in front of h; the
+// handlers are reachable only through this explicit mount, never via
+// http.DefaultServeMux.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 func runTable(ctx context.Context, spec bench.TableSpec, calibrate bool, reg *telemetry.Registry) {
@@ -178,6 +200,8 @@ func runSelfTest(ctx context.Context, workers int, reg *telemetry.Registry) {
 		fatalf("%v", err)
 	}
 	opts := farm.Options{Strategy: farm.SerializedLoad, Telemetry: reg}
+	wopts := opts
+	wopts.LocalSpans = true // workers share the process registry
 	world := mpi.NewLocalWorld(workers + 1)
 	defer world.Close()
 	var wg sync.WaitGroup
@@ -185,16 +209,18 @@ func runSelfTest(ctx context.Context, workers int, reg *telemetry.Registry) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, opts); err != nil {
+			if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, wopts); err != nil {
 				fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
 			}
 		}(r)
 	}
+	root := reg.StartTrace("bench.run")
 	start := time.Now()
-	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	results, err := farm.RunMaster(telemetry.ContextWithTrace(ctx, root.Context()), world.Comm(0), tasks, farm.LiveLoader{}, opts)
 	if err != nil {
 		fatalf("master: %v", err)
 	}
+	root.End()
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -275,6 +301,8 @@ func runLive(ctx context.Context, pfName string, n, workers int, stratName strin
 		store = ms
 	}
 	opts := farm.Options{Strategy: strat, BatchSize: batch, Telemetry: reg}
+	wopts := opts
+	wopts.LocalSpans = true // workers share the process registry
 	world := mpi.NewLocalWorld(workers + 1)
 	defer world.Close()
 	var wg sync.WaitGroup
@@ -282,16 +310,18 @@ func runLive(ctx context.Context, pfName string, n, workers int, stratName strin
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, store, opts); err != nil {
+			if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, store, wopts); err != nil {
 				fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
 			}
 		}(r)
 	}
+	root := reg.StartTrace("bench.run")
 	start := time.Now()
-	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	results, err := farm.RunMaster(telemetry.ContextWithTrace(ctx, root.Context()), world.Comm(0), tasks, farm.LiveLoader{}, opts)
 	if err != nil {
 		fatalf("master: %v", err)
 	}
+	root.End()
 	wg.Wait()
 	elapsed := time.Since(start)
 	sum := 0.0

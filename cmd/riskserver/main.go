@@ -17,10 +17,15 @@
 //
 //	curl -s localhost:8080/batch -d '{"problems":[...]}'
 //
-// Health and metrics:
+// Health, metrics and traces:
 //
 //	curl -s localhost:8080/healthz
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/metrics        # Prometheus text format
+//	curl -s localhost:8080/metrics.json   # JSON snapshot
+//	curl -s localhost:8080/debug/traces   # slowest requests as span trees
+//
+// With -pprof, the standard net/http/pprof profiling handlers are
+// additionally mounted under /debug/pprof/.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (healthz flips to
 // 503 so load balancers rotate the instance out), in-flight farm
@@ -33,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -46,6 +52,21 @@ import (
 	"riskbench/internal/telemetry"
 )
 
+// withPprof mounts the net/http/pprof handlers in front of h. The
+// pprof package's side-effect registration targets http.DefaultServeMux,
+// which this server never serves, so the handlers are reachable only
+// through this explicit mount.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "address to serve HTTP on")
@@ -57,6 +78,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pricing deadline")
 		kernel      = flag.Int("kernelthreads", 0, "multicore kernel threads per pricing task (0 = serial)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight work on shutdown")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		noTrace     = flag.Bool("notrace", false, "disable per-request distributed tracing")
 	)
 	flag.Parse()
 
@@ -77,9 +100,14 @@ func main() {
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		Telemetry:      reg,
+		DisableTracing: *noTrace,
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "riskserver: serving on %s (workers=%d batch=%d cache=%d maxinflight=%d)\n",

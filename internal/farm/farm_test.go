@@ -11,6 +11,7 @@ import (
 	"riskbench/internal/mpi"
 	"riskbench/internal/nsp"
 	"riskbench/internal/premia"
+	"riskbench/internal/telemetry"
 )
 
 // serializeHash returns the nsp stream bytes of a hash, i.e. the content
@@ -375,28 +376,102 @@ func TestStrategyStrings(t *testing.T) {
 }
 
 func TestDecodeBatchRejectsMalformed(t *testing.T) {
-	if _, _, _, err := decodeBatch(encodeBatch(nil)); err != nil {
+	if _, err := decodeBatch(encodeBatch(nil, batchTrace{})); err != nil {
 		t.Fatalf("empty batch should decode: %v", err)
 	}
-	if _, _, _, err := decodeBatch(nsp.Scalar(1)); err == nil {
+	if _, err := decodeBatch(nsp.Scalar(1)); err == nil {
 		t.Fatal("non-hash descriptor accepted")
 	}
 	missing := nsp.NewHash()
 	missing.Set(descNames, nsp.NewSMat(1, 1))
-	if _, _, _, err := decodeBatch(missing); err == nil {
+	if _, err := decodeBatch(missing); err == nil {
 		t.Fatal("descriptor missing fields accepted")
 	}
 	// Wrong field type: replace costs with a hash.
-	bad := encodeBatch([]Task{{Name: "x"}})
-	bad.Set(descCosts, encodeBatch(nil))
-	if _, _, _, err := decodeBatch(bad); err == nil {
+	bad := encodeBatch([]Task{{Name: "x"}}, batchTrace{})
+	bad.Set(descCosts, encodeBatch(nil, batchTrace{}))
+	if _, err := decodeBatch(bad); err == nil {
 		t.Fatal("wrong field type accepted")
 	}
 	// Mismatched lengths.
-	short := encodeBatch([]Task{{Name: "x"}, {Name: "y"}})
+	short := encodeBatch([]Task{{Name: "x"}, {Name: "y"}}, batchTrace{})
 	short.Set(descCosts, nsp.NewMat(1, 1))
-	if _, _, _, err := decodeBatch(short); err == nil {
+	if _, err := decodeBatch(short); err == nil {
 		t.Fatal("mismatched lengths accepted")
+	}
+	// Trace ID without parents.
+	traceless := encodeBatch([]Task{{Name: "x"}}, batchTrace{})
+	tid := nsp.NewMat(1, 2)
+	splitU64(tid, 0, 0xff)
+	traceless.Set(descTrace, tid)
+	if _, err := decodeBatch(traceless); err == nil {
+		t.Fatal("traced descriptor without parents accepted")
+	}
+	// Trace ID halves that are not 32-bit integers.
+	garbled := encodeBatch([]Task{{Name: "x"}}, batchTrace{traceID: 7, parents: []uint64{1}})
+	garbled.Set(descTrace, nsp.NewMat(1, 2)) // zero halves decode to trace 0…
+	bad2 := nsp.NewMat(1, 2)
+	bad2.Data[0], bad2.Data[1] = 0.5, 1e12
+	garbled.Set(descTrace, bad2)
+	if _, err := decodeBatch(garbled); err == nil {
+		t.Fatal("non-integral trace halves accepted")
+	}
+}
+
+// TestBatchTraceRoundTrip checks that trace context rides the descriptor
+// and that untraced descriptors carry no trace fields (identical wire
+// format to the pre-tracing protocol).
+func TestBatchTraceRoundTrip(t *testing.T) {
+	tasks := []Task{{Name: "a"}, {Name: "b"}}
+	bt := batchTrace{traceID: 0xdeadbeefcafe, parents: []uint64{1 << 63, 42}}
+	desc, err := decodeBatch(encodeBatch(tasks, bt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Trace.traceID != bt.traceID {
+		t.Fatalf("trace ID %x, want %x", desc.Trace.traceID, bt.traceID)
+	}
+	if len(desc.Trace.parents) != 2 || desc.Trace.parents[0] != bt.parents[0] || desc.Trace.parents[1] != bt.parents[1] {
+		t.Fatalf("parents %v, want %v", desc.Trace.parents, bt.parents)
+	}
+	plain := encodeBatch(tasks, batchTrace{})
+	if _, ok := plain.Get(descTrace); ok {
+		t.Fatal("untraced descriptor carries trace field")
+	}
+	if _, ok := plain.Get(descParents); ok {
+		t.Fatal("untraced descriptor carries parents field")
+	}
+}
+
+// TestSpanPayloadRoundTrip checks the worker→master span shipping codec,
+// including 64-bit IDs that do not fit a float64.
+func TestSpanPayloadRoundTrip(t *testing.T) {
+	recs := []telemetry.SpanRecord{
+		{ID: 1<<63 + 7, ParentID: 3, TraceID: 9, Name: "farm.compute", Start: 1.5, End: 2.25},
+		{ID: 12, ParentID: 1<<63 + 7, TraceID: 9, Name: "kernel", Start: 1.6, End: 2.0},
+	}
+	h := encodeSpanPayload(recs, 1.25)
+	if !isSpanPayload(h) {
+		t.Fatal("span payload not recognized")
+	}
+	got, recvAt, err := decodeSpanPayload(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 1.25 {
+		t.Fatalf("recvAt = %v, want 1.25", recvAt)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// A regular result hash is not mistaken for a span payload.
+	if isSpanPayload(resultHash("x", 1, 0, 0, 0)) {
+		t.Fatal("result hash misdetected as span payload")
 	}
 }
 

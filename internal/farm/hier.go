@@ -88,10 +88,11 @@ func RunSubMaster(c mpi.Comm, workers []int, opts Options) error {
 		if err != nil {
 			return fmt.Errorf("farm: sub-master %d recv chunk: %w", c.Rank(), err)
 		}
-		names, costs, sizes, err := decodeBatch(obj)
+		desc, err := decodeBatch(obj)
 		if err != nil {
 			return err
 		}
+		names, costs, sizes := desc.Names, desc.Costs, desc.Sizes
 		if len(names) == 0 {
 			return sendStop(c, workers)
 		}

@@ -88,10 +88,11 @@ func splitBatches(tasks []Task, bs int) [][]Task {
 
 // sendBatch ships one batch (descriptor, then payload list if the
 // strategy carries payloads) to a worker, recording per-task payload
-// preparation time when telemetry is on.
-func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, opts Options) error {
+// preparation time when telemetry is on. A valid bt rides the
+// descriptor so the worker can parent its spans onto the master's.
+func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, opts Options, bt batchTrace) error {
 	reg := opts.Telemetry
-	if err := mpi.SendObj(c, encodeBatch(b), worker, TagTask); err != nil {
+	if err := mpi.SendObj(c, encodeBatch(b, bt), worker, TagTask); err != nil {
 		return fmt.Errorf("farm: send descriptor to %d: %w", worker, err)
 	}
 	if !opts.Strategy.NeedsPayload() {
@@ -114,24 +115,35 @@ func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, opts Options) er
 }
 
 // recvResults receives one result list and appends its items, converting
-// worker-reported pricing failures into Results with Err set.
-func recvResults(c mpi.Comm, results []Result) ([]Result, int, error) {
+// worker-reported pricing failures into Results with Err set. A trailing
+// span payload (traced workers ship their finished SpanRecords with the
+// results) is split off and returned alongside the worker's
+// descriptor-receive clock reading.
+func recvResults(c mpi.Comm, results []Result) ([]Result, int, []telemetry.SpanRecord, float64, error) {
 	st, err := c.Probe(mpi.AnySource, TagResult)
 	if err != nil {
-		return results, 0, fmt.Errorf("farm: probe results: %w", err)
+		return results, 0, nil, 0, fmt.Errorf("farm: probe results: %w", err)
 	}
 	obj, _, err := mpi.RecvObj(c, st.Source, TagResult)
 	if err != nil {
-		return results, 0, fmt.Errorf("farm: recv result from %d: %w", st.Source, err)
+		return results, 0, nil, 0, fmt.Errorf("farm: recv result from %d: %w", st.Source, err)
 	}
 	list, ok := obj.(*nsp.List)
 	if !ok {
-		return results, 0, fmt.Errorf("farm: result from %d is %v, want list", st.Source, obj.Kind())
+		return results, 0, nil, 0, fmt.Errorf("farm: result from %d is %v, want list", st.Source, obj.Kind())
 	}
+	var spans []telemetry.SpanRecord
+	var recvAt float64
 	for _, item := range list.Items {
+		if isSpanPayload(item) {
+			if spans, recvAt, err = decodeSpanPayload(item); err != nil {
+				return results, 0, nil, 0, err
+			}
+			continue
+		}
 		name, err := resultName(item)
 		if err != nil {
-			return results, 0, err
+			return results, 0, nil, 0, err
 		}
 		r := Result{Name: name, Worker: st.Source, Value: item}
 		if msg, failed := resultError(item); failed {
@@ -140,7 +152,7 @@ func recvResults(c mpi.Comm, results []Result) ([]Result, int, error) {
 		}
 		results = append(results, r)
 	}
-	return results, st.Source, nil
+	return results, st.Source, spans, recvAt, nil
 }
 
 // queuedBatch is one batch awaiting dispatch plus its enqueue time on
@@ -172,7 +184,14 @@ type pendingBatch struct {
 // so simulated runs record virtual seconds.
 func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task, loader Loader, opts Options) ([]Result, error) {
 	reg := opts.Telemetry
-	runSpan := reg.StartSpan("farm.run")
+	// Adopt a distributed trace threaded through ctx (a serve request or
+	// bench run); without one the run is metrics-only.
+	var runSpan *telemetry.Span
+	if tc, ok := telemetry.TraceFromContext(ctx); ok {
+		runSpan = reg.StartSpanIn(tc, "farm.run")
+	} else {
+		runSpan = reg.StartSpan("farm.run")
+	}
 	defer runSpan.End()
 	queue := make([]queuedBatch, len(batches))
 	now := reg.Now()
@@ -188,14 +207,30 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 	send := func(w int) error {
 		qb := queue[0]
 		queue = queue[1:]
-		if err := sendBatch(c, w, qb.tasks, loader, opts); err != nil {
-			return err
-		}
-		pb := pendingBatch{tasks: qb.tasks, sentAt: reg.Now()}
+		// The per-task spans open before the send so their IDs can ride
+		// the descriptor: the worker parents its farm.compute spans on
+		// them.
+		pb := pendingBatch{tasks: qb.tasks}
+		var bt batchTrace
 		if reg != nil {
 			for range qb.tasks {
 				pb.spans = append(pb.spans, runSpan.StartChild("farm.task"))
 			}
+			if tc := runSpan.Context(); tc.Valid() {
+				bt.traceID = tc.TraceID
+				for _, sp := range pb.spans {
+					bt.parents = append(bt.parents, sp.ID())
+				}
+			}
+		}
+		dispatch := runSpan.StartChild("farm.dispatch")
+		err := sendBatch(c, w, qb.tasks, loader, opts, bt)
+		dispatch.End()
+		if err != nil {
+			return err
+		}
+		pb.sentAt = reg.Now()
+		if reg != nil {
 			wait := pb.sentAt - qb.enqueued
 			for range qb.tasks {
 				reg.Observe("farm.queue_wait_seconds", wait)
@@ -216,7 +251,7 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 		}
 	}
 	for inflight > 0 {
-		batch, from, err := recvResults(c, nil)
+		batch, from, wspans, wrecv, err := recvResults(c, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -236,6 +271,18 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 			}
 			for _, sp := range was.spans {
 				sp.End()
+			}
+			if len(wspans) > 0 {
+				// The worker's spans are on its own clock; align them by
+				// mapping its descriptor-receive instant onto our dispatch
+				// instant. In-process farms share the registry, so these
+				// copies dedupe against the originals by span ID.
+				shift := was.sentAt - wrecv
+				for i := range wspans {
+					wspans[i].Start += shift
+					wspans[i].End += shift
+				}
+				reg.IngestSpans(wspans)
 			}
 		}
 		for _, r := range batch {
@@ -282,7 +329,7 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 
 // sendStop sends the empty batch to each listed worker.
 func sendStop(c mpi.Comm, workers []int) error {
-	stop := encodeBatch(nil)
+	stop := encodeBatch(nil, batchTrace{})
 	for _, w := range workers {
 		if err := mpi.SendObj(c, stop, w, TagTask); err != nil {
 			return fmt.Errorf("farm: send stop to %d: %w", w, err)

@@ -34,7 +34,7 @@ func RunStaticMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loade
 	if ctx.Err() == nil {
 		for w := 0; w < nw; w++ {
 			if len(queues[w]) > 0 {
-				if err := sendBatch(c, w+1, queues[w][0], loader, opts); err != nil {
+				if err := sendBatch(c, w+1, queues[w][0], loader, opts, batchTrace{}); err != nil {
 					return nil, err
 				}
 				pos[w] = 1
@@ -45,7 +45,7 @@ func RunStaticMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loade
 	for inflight > 0 {
 		var from int
 		var err error
-		results, from, err = recvResults(c, results)
+		results, from, _, _, err = recvResults(c, results)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +55,7 @@ func RunStaticMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loade
 		}
 		q := from - 1
 		if pos[q] < len(queues[q]) {
-			if err := sendBatch(c, from, queues[q][pos[q]], loader, opts); err != nil {
+			if err := sendBatch(c, from, queues[q][pos[q]], loader, opts, batchTrace{}); err != nil {
 				return nil, err
 			}
 			pos[q]++

@@ -135,3 +135,86 @@ func TestStaticMasterCancelled(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestFarmDistributedTrace runs master and workers on SEPARATE
+// registries — the separate-process shape — under a traced context, and
+// checks that the master reassembles one complete span tree: worker-side
+// farm.compute spans travel back over the wire and parent onto the
+// master's farm.task spans.
+func TestFarmDistributedTrace(t *testing.T) {
+	const workers = 3
+	tasks, want := makePortfolio(t, 12)
+	master := telemetry.New()
+	w := mpi.NewLocalWorld(workers + 1)
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			wopts := Options{Strategy: SerializedLoad, BatchSize: 2, Telemetry: telemetry.New()}
+			if err := RunWorker(w.Comm(rank), LiveExecutor{}, nil, wopts); err != nil {
+				t.Errorf("worker %d: %v", rank, err)
+			}
+		}(r)
+	}
+	root := master.StartTrace("bench.run")
+	ctx := telemetry.ContextWithTrace(context.Background(), root.Context())
+	opts := Options{Strategy: SerializedLoad, BatchSize: 2, Telemetry: master}
+	results, err := RunMaster(ctx, w.Comm(0), tasks, LiveLoader{}, opts)
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	root.End()
+	wg.Wait()
+	checkResults(t, results, want)
+
+	traces := master.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("master retains %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != root.Context().TraceID {
+		t.Fatalf("trace ID %x, want %x", tr.TraceID, root.Context().TraceID)
+	}
+	byID := make(map[uint64]telemetry.SpanRecord, len(tr.Spans))
+	count := map[string]int{}
+	for _, s := range tr.Spans {
+		byID[s.ID] = s
+		count[s.Name]++
+	}
+	n := len(tasks)
+	if count["farm.task"] != n || count["farm.compute"] != n {
+		t.Fatalf("span counts %v, want %d farm.task and %d farm.compute", count, n, n)
+	}
+	if count["farm.run"] != 1 || count["bench.run"] != 1 {
+		t.Fatalf("span counts %v, want one farm.run under one bench.run", count)
+	}
+	// Every worker-side span must link onto a master-side span of the
+	// right kind, and nest within it on the master clock.
+	for _, s := range tr.Spans {
+		switch s.Name {
+		case "farm.compute":
+			parent, ok := byID[s.ParentID]
+			if !ok || parent.Name != "farm.task" {
+				t.Fatalf("farm.compute parent = %+v, want a farm.task span", parent)
+			}
+			if s.Start < parent.Start || s.End > parent.End {
+				t.Errorf("farm.compute [%v,%v] not nested in farm.task [%v,%v]",
+					s.Start, s.End, parent.Start, parent.End)
+			}
+		case "farm.fetch":
+			if parent, ok := byID[s.ParentID]; !ok || parent.Name != "farm.task" {
+				t.Fatalf("farm.fetch parent = %+v, want a farm.task span", parent)
+			}
+		case "farm.task", "farm.dispatch":
+			if parent, ok := byID[s.ParentID]; !ok || parent.Name != "farm.run" {
+				t.Fatalf("%s parent = %+v, want the farm.run span", s.Name, parent)
+			}
+		case "farm.run":
+			if s.ParentID != root.ID() {
+				t.Fatalf("farm.run parent = %d, want bench.run %d", s.ParentID, root.ID())
+			}
+		}
+	}
+}

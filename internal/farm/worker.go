@@ -5,6 +5,7 @@ import (
 
 	"riskbench/internal/mpi"
 	"riskbench/internal/nsp"
+	"riskbench/internal/telemetry"
 )
 
 // Executor abstracts the worker-side pricing of one task. Live executors
@@ -31,7 +32,10 @@ type Store interface {
 // the empty stop message arrives. With opts.Telemetry set, payload
 // fetches and per-task computations are timed into the
 // "farm.fetch_seconds" and "farm.compute_seconds" histograms, each
-// computation under a "farm.compute" span.
+// computation under a "farm.compute" span. When the batch descriptor
+// carries a trace, the spans parent onto the master's farm.task spans
+// and their finished records ship back with the results, so the master
+// reassembles the whole tree even when the worker is another process.
 func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 	master := opts.MasterRank
 	reg := opts.Telemetry
@@ -40,14 +44,26 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 		if err != nil {
 			return fmt.Errorf("farm: worker %d recv descriptor: %w", c.Rank(), err)
 		}
-		names, costs, sizes, err := decodeBatch(obj)
+		recvAt := reg.Now()
+		desc, err := decodeBatch(obj)
 		if err != nil {
 			return err
 		}
+		names, costs, sizes := desc.Names, desc.Costs, desc.Sizes
 		if len(names) == 0 {
 			return nil // stop message
 		}
+		traced := reg != nil && desc.Trace.valid() && len(desc.Trace.parents) == len(names)
+		ship := traced && !opts.LocalSpans
+		taskCtx := func(i int) telemetry.TraceContext {
+			return telemetry.TraceContext{TraceID: desc.Trace.traceID, SpanID: desc.Trace.parents[i]}
+		}
+		var shipped []telemetry.SpanRecord
 		payloads := make([][]byte, len(names))
+		var fetchSpan *telemetry.Span
+		if traced {
+			fetchSpan = reg.StartSpanIn(taskCtx(0), "farm.fetch")
+		}
 		fetchStart := reg.Now()
 		if opts.Strategy.NeedsPayload() {
 			pobj, _, err := mpi.RecvObj(c, master, TagPayload)
@@ -78,13 +94,27 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 			}
 		}
 		reg.Observe("farm.fetch_seconds", reg.Now()-fetchStart)
+		if fetchSpan != nil {
+			fetchSpan.End()
+			if ship {
+				shipped = append(shipped, fetchSpan.Record())
+			}
+		}
 		out := nsp.NewList()
 		for i, name := range names {
-			span := reg.StartSpan("farm.compute")
+			var span *telemetry.Span
+			if traced {
+				span = reg.StartSpanIn(taskCtx(i), "farm.compute")
+			} else {
+				span = reg.StartSpan("farm.compute")
+			}
 			start := reg.Now()
 			res, err := exec.Execute(name, payloads[i], costs[i], int(sizes[i]))
 			reg.Observe("farm.compute_seconds", reg.Now()-start)
 			span.End()
+			if ship {
+				shipped = append(shipped, span.Record())
+			}
 			if err != nil {
 				// A pricing failure is the task's problem, not the
 				// worker's: report it and keep serving (the master decides
@@ -92,6 +122,9 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 				res = errorResultHash(name, err.Error())
 			}
 			out.Add(res)
+		}
+		if len(shipped) > 0 {
+			out.Add(encodeSpanPayload(shipped, recvAt))
 		}
 		if err := mpi.SendObj(c, out, master, TagResult); err != nil {
 			return fmt.Errorf("farm: worker %d send results: %w", c.Rank(), err)

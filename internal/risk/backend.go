@@ -1,0 +1,154 @@
+package risk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"riskbench/internal/farm"
+	"riskbench/internal/mpi"
+	"riskbench/internal/telemetry"
+)
+
+// FarmBackend is the seam between the engine and its worker pool: Run
+// farms one round of tasks over `workers` workers and returns the
+// results. The engine threads its context (including any distributed
+// trace riding it) straight through, so worker-side spans reassemble on
+// the master regardless of where the workers live. Run must honour ctx
+// cancellation; it returns the transport's raw error and lets the
+// caller wrap it.
+type FarmBackend interface {
+	Run(ctx context.Context, tasks []farm.Task, opts farm.Options, workers int) ([]farm.Result, error)
+}
+
+// LocalBackend, the engine default, prices on an in-process goroutine
+// world: one mpi.LocalWorld per round, workers sharing the engine's
+// telemetry registry.
+type LocalBackend struct{}
+
+// Run implements FarmBackend on goroutine ranks. Cancellation is
+// enforced two ways: the master stops dispatching cooperatively, and the
+// local MPI world is closed so blocked workers unblock immediately.
+func (LocalBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Options, nw int) ([]farm.Result, error) {
+	world := mpi.NewLocalWorld(nw + 1)
+	defer world.Close()
+	stopCancel := context.AfterFunc(ctx, func() { world.Close() })
+	defer stopCancel()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, nw+1)
+	wopts := opts
+	wopts.LocalSpans = true // workers share the master's registry
+	for r := 1; r <= nw; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			workerErrs[rank] = farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, wopts)
+		}(r)
+	}
+	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			world.Close() // unblock any workers still waiting
+			wg.Wait()
+		}
+		return nil, err
+	}
+	wg.Wait()
+	for rank, werr := range workerErrs {
+		if werr != nil {
+			return nil, fmt.Errorf("risk: worker %d: %w", rank, werr)
+		}
+	}
+	return results, nil
+}
+
+// TCPBackend prices each round over real TCP connections: it listens on
+// Addr, asks Spawn to start the round's workers dialing in (separate
+// processes in deployment, goroutines in tests), and masters the round
+// over the hub. Worker-side telemetry lives in whatever registries the
+// spawned workers carry; their spans travel back over the wire.
+type TCPBackend struct {
+	// Addr is the listen address; default "127.0.0.1:0".
+	Addr string
+	// Spawn must cause `workers` workers to mpi.DialHub(addr) and run
+	// farm.RunWorker until the stop message. It returns a wait function
+	// joining them (may be nil). Required.
+	Spawn func(addr string, workers int) (wait func() error, err error)
+}
+
+// Run implements FarmBackend over a TCP hub.
+func (b *TCPBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Options, nw int) ([]farm.Result, error) {
+	if b.Spawn == nil {
+		return nil, errors.New("risk: TCPBackend needs a Spawn function")
+	}
+	addr := b.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	hub, err := mpi.ListenHub(addr, nw+1)
+	if err != nil {
+		return nil, err
+	}
+	defer hub.Close()
+	accepted := make(chan error, 1)
+	go func() { accepted <- hub.WaitWorkers() }()
+	wait, err := b.Spawn(hub.Addr(), nw)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-accepted; err != nil {
+		return nil, err
+	}
+	stopCancel := context.AfterFunc(ctx, func() { hub.Close() })
+	defer stopCancel()
+	results, err := farm.RunMaster(ctx, hub, tasks, farm.LiveLoader{}, opts)
+	if err != nil {
+		// Closing the hub unblocks the spawned workers before joining
+		// them, so a failed round does not strand the wait.
+		hub.Close()
+		if wait != nil {
+			_ = wait()
+		}
+		return nil, err
+	}
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			return nil, fmt.Errorf("risk: tcp worker: %w", werr)
+		}
+	}
+	return results, nil
+}
+
+// GoTCPWorkers returns a TCPBackend Spawn function running each worker
+// as a goroutine of this process with its own Comm over the real TCP
+// wire — the test and single-machine shape. newRegistry, when non-nil,
+// supplies each worker's telemetry registry (a fresh registry per worker
+// proves spans travel by wire rather than by shared memory).
+func GoTCPWorkers(newRegistry func(worker int) *telemetry.Registry) func(addr string, workers int) (func() error, error) {
+	return func(addr string, workers int) (func() error, error) {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			c, err := mpi.DialHub(addr)
+			if err != nil {
+				return nil, err
+			}
+			var reg *telemetry.Registry
+			if newRegistry != nil {
+				reg = newRegistry(i)
+			}
+			wg.Add(1)
+			go func(i int, c mpi.Comm, reg *telemetry.Registry) {
+				defer wg.Done()
+				defer c.Close()
+				errs[i] = farm.RunWorker(c, farm.LiveExecutor{}, nil,
+					farm.Options{Strategy: farm.SerializedLoad, Telemetry: reg})
+			}(i, c, reg)
+		}
+		return func() error {
+			wg.Wait()
+			return errors.Join(errs...)
+		}, nil
+	}
+}

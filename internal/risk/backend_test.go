@@ -1,0 +1,103 @@
+package risk
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"riskbench/internal/premia"
+	"riskbench/internal/telemetry"
+)
+
+// TestPriceBatchTCPBackend prices a batch over the TCP backend with a
+// FRESH registry per worker and checks (a) the prices match the local
+// backend bit-for-bit and (b) the master reassembles one trace whose
+// worker-side farm.compute spans parent onto its farm.task spans — the
+// spans could only have arrived over the wire.
+func TestPriceBatchTCPBackend(t *testing.T) {
+	reg := telemetry.New()
+	e := Engine{
+		Workers:   2,
+		BatchSize: 2,
+		Telemetry: reg,
+		Backend:   &TCPBackend{Spawn: GoTCPWorkers(func(int) *telemetry.Registry { return telemetry.New() })},
+	}
+	probs := []*premia.Problem{callProblem(90), callProblem(100), callProblem(110)}
+	root := reg.StartTrace("test.request")
+	ctx := telemetry.ContextWithTrace(context.Background(), root.Context())
+	out, err := e.PriceBatch(ctx, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	local := Engine{Workers: 2, BatchSize: 2}
+	want, err := local.PriceBatch(context.Background(), probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probs {
+		if out[i].Err != nil {
+			t.Fatalf("problem %d: %v", i, out[i].Err)
+		}
+		if out[i].Result.Price != want[i].Result.Price {
+			t.Errorf("problem %d: TCP price %v, local %v", i, out[i].Result.Price, want[i].Result.Price)
+		}
+	}
+
+	traces := reg.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("master retains %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	byID := make(map[uint64]telemetry.SpanRecord, len(tr.Spans))
+	count := map[string]int{}
+	for _, s := range tr.Spans {
+		byID[s.ID] = s
+		count[s.Name]++
+	}
+	if count["farm.compute"] != len(probs) || count["farm.task"] != len(probs) {
+		t.Fatalf("span counts %v, want %d farm.task and %d farm.compute", count, len(probs), len(probs))
+	}
+	for _, s := range tr.Spans {
+		if s.Name != "farm.compute" {
+			continue
+		}
+		parent, ok := byID[s.ParentID]
+		if !ok || parent.Name != "farm.task" {
+			t.Fatalf("farm.compute parent = %+v, want a farm.task span", parent)
+		}
+	}
+	chain := []string{"farm.run", "risk.price_batch", "test.request"}
+	span, _ := tr.Find("farm.run")
+	for _, wantParent := range chain[1:] {
+		parent, ok := byID[span.ParentID]
+		if !ok || parent.Name != wantParent {
+			t.Fatalf("%s parent = %+v, want %s", span.Name, parent, wantParent)
+		}
+		span = parent
+	}
+}
+
+// TestTCPBackendNeedsSpawn checks the configuration error.
+func TestTCPBackendNeedsSpawn(t *testing.T) {
+	e := Engine{Backend: &TCPBackend{}}
+	_, err := e.PriceBatch(context.Background(), []*premia.Problem{callProblem(100)})
+	if err == nil {
+		t.Fatal("TCPBackend without Spawn priced a batch")
+	}
+}
+
+// TestPriceBatchTCPBackendCancelled checks that cancellation surfaces
+// context.Canceled through the TCP backend without hanging.
+func TestPriceBatchTCPBackendCancelled(t *testing.T) {
+	e := Engine{
+		Workers: 2,
+		Backend: &TCPBackend{Spawn: GoTCPWorkers(nil)},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.PriceBatch(ctx, []*premia.Problem{callProblem(90), callProblem(100)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled TCP batch returned %v, want context.Canceled", err)
+	}
+}

@@ -3,12 +3,11 @@ package risk
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"riskbench/internal/farm"
-	"riskbench/internal/mpi"
 	"riskbench/internal/nsp"
 	"riskbench/internal/premia"
+	"riskbench/internal/telemetry"
 )
 
 // PriceCache is a read-through store of pricing results keyed by
@@ -78,7 +77,16 @@ func resultFromFarm(r farm.Result) (premia.Result, error) {
 // value.
 func (e Engine) PriceBatch(ctx context.Context, problems []*premia.Problem) ([]PriceOutcome, error) {
 	reg := e.Telemetry
-	span := reg.StartSpan("risk.price_batch")
+	// Adopt a distributed trace threaded through ctx (the serving layer
+	// mints one per request); PriceBatch never mints its own, so untraced
+	// callers stay metrics-only and the farm wire stays trace-free.
+	var span *telemetry.Span
+	if tc, ok := telemetry.TraceFromContext(ctx); ok {
+		span = reg.StartSpanIn(tc, "risk.price_batch")
+		ctx = telemetry.ContextWithTrace(ctx, span.Context())
+	} else {
+		span = reg.StartSpan("risk.price_batch")
+	}
 	defer span.End()
 	reg.Counter("risk.price.requests").Add(int64(len(problems)))
 
@@ -125,40 +133,20 @@ func (e Engine) PriceBatch(ctx context.Context, problems []*premia.Problem) ([]P
 	}
 	reg.Counter("risk.price.farmed").Add(int64(len(tasks)))
 
-	// Farm the unique misses over live workers, sized to the work: a
-	// two-problem flush does not spin up the full worker complement.
+	// Farm the unique misses over the engine's backend, sized to the
+	// work: a two-problem flush does not spin up the full worker
+	// complement.
 	nw := e.workers()
 	if nw > len(tasks) {
 		nw = len(tasks)
 	}
 	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg}
-	world := mpi.NewLocalWorld(nw + 1)
-	defer world.Close()
-	stopCancel := context.AfterFunc(ctx, func() { world.Close() })
-	defer stopCancel()
-	var wg sync.WaitGroup
-	workerErrs := make([]error, nw+1)
-	for r := 1; r <= nw; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			workerErrs[rank] = farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, opts)
-		}(r)
-	}
-	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	results, err := e.backend().Run(ctx, tasks, opts, nw)
 	if err != nil {
 		if ctx.Err() != nil {
-			world.Close()
-			wg.Wait()
 			return nil, fmt.Errorf("risk: price batch cancelled: %w", ctx.Err())
 		}
 		return nil, fmt.Errorf("risk: price batch farm: %w", err)
-	}
-	wg.Wait()
-	for rank, werr := range workerErrs {
-		if werr != nil {
-			return nil, fmt.Errorf("risk: worker %d: %w", rank, werr)
-		}
 	}
 
 	for _, r := range results {

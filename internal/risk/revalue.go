@@ -4,10 +4,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"riskbench/internal/farm"
-	"riskbench/internal/mpi"
 	"riskbench/internal/nsp"
 	"riskbench/internal/portfolio"
 	"riskbench/internal/premia"
@@ -40,6 +38,18 @@ type Engine struct {
 	// the ones it computes. Scenario-shifted problems have distinct
 	// content keys and always price fresh.
 	Cache PriceCache
+	// Backend selects where the farm's workers live: nil (the default)
+	// means LocalBackend, an in-process goroutine world per round; a
+	// TCPBackend farms over real TCP connections. Distributed traces
+	// thread through either one.
+	Backend FarmBackend
+}
+
+func (e Engine) backend() FarmBackend {
+	if e.Backend == nil {
+		return LocalBackend{}
+	}
+	return e.Backend
 }
 
 func (e Engine) workers() int {
@@ -135,7 +145,14 @@ func (e Engine) Revalue(pf *portfolio.Portfolio, scenarios []Scenario) (*Valuati
 // context's error is returned.
 func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, scenarios []Scenario) (*Valuation, error) {
 	reg := e.Telemetry
-	revSpan := reg.StartSpan("risk.revalue")
+	// A revaluation is a natural trace root (one bench run / report): mint
+	// a trace unless the caller already threads one through ctx.
+	var revSpan *telemetry.Span
+	if tc, ok := telemetry.TraceFromContext(ctx); ok {
+		revSpan = reg.StartSpanIn(tc, "risk.revalue")
+	} else {
+		revSpan = reg.StartTrace("risk.revalue")
+	}
 	defer revSpan.End()
 	val := &Valuation{
 		Scenarios: scenarios,
@@ -217,40 +234,22 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 	reg.Counter("risk.tasks").Add(int64(len(tasks)))
 	reg.Counter("risk.scenarios").Add(int64(len(scenarios)))
 
-	// Farm them over live workers.
+	// Farm them over the engine's backend, threading the trace so the
+	// farm.run span (and the workers' spans beyond it) parent onto
+	// risk.farm.
 	farmSpan := revSpan.StartChild("risk.farm")
-	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg}
-	world := mpi.NewLocalWorld(e.workers() + 1)
-	defer world.Close()
-	// Hard cancellation: closing the world makes every blocked Probe,
-	// Recv and Send return ErrClosed, so cancellation does not have to
-	// wait for in-flight batches to finish pricing.
-	stopCancel := context.AfterFunc(ctx, func() { world.Close() })
-	defer stopCancel()
-	var wg sync.WaitGroup
-	workerErrs := make([]error, e.workers()+1)
-	for r := 1; r <= e.workers(); r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			workerErrs[rank] = farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, opts)
-		}(r)
+	farmCtx := ctx
+	if tc := farmSpan.Context(); tc.Valid() {
+		farmCtx = telemetry.ContextWithTrace(ctx, tc)
 	}
-	results, err := farm.RunMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg}
+	results, err := e.backend().Run(farmCtx, tasks, opts, e.workers())
 	farmSpan.End()
 	if err != nil {
 		if ctx.Err() != nil {
-			world.Close() // unblock any workers still waiting
-			wg.Wait()
 			return nil, fmt.Errorf("risk: revaluation cancelled: %w", ctx.Err())
 		}
 		return nil, fmt.Errorf("risk: revaluation farm: %w", err)
-	}
-	wg.Wait()
-	for rank, werr := range workerErrs {
-		if werr != nil {
-			return nil, fmt.Errorf("risk: worker %d: %w", rank, werr)
-		}
 	}
 
 	// Scatter results back into the valuation matrix.

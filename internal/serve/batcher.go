@@ -16,10 +16,14 @@ type PriceFunc func(ctx context.Context, problems []*premia.Problem) ([]risk.Pri
 
 // priceRequest is one problem waiting for a batch slot. done is
 // buffered, so the batcher's reply never blocks even when the requester
-// has abandoned its deadline.
+// has abandoned its deadline. span roots the request's distributed
+// trace and queue times its wait for a batch slot; both are nil when
+// tracing is off.
 type priceRequest struct {
 	problem *premia.Problem
 	done    chan priceResponse
+	span    *telemetry.Span
+	queue   *telemetry.Span
 }
 
 type priceResponse struct {
@@ -136,14 +140,27 @@ func (b *batcher) loop() {
 	}
 }
 
-// runBatch prices one flushed batch and fans the outcomes back out.
+// runBatch prices one flushed batch and fans the outcomes back out. The
+// batch prices under the first traced request's trace — one farm run
+// serves the whole batch, so one tree carries its full breakdown; the
+// other requests' traces keep their queue timing.
 func (b *batcher) runBatch(batch []*priceRequest) {
 	problems := make([]*premia.Problem, len(batch))
+	ctx := b.ctx
+	adopted := false
 	for i, r := range batch {
 		problems[i] = r.problem
+		r.queue.End()
+		if !adopted {
+			if tc := r.span.Context(); tc.Valid() {
+				ctx = telemetry.ContextWithTrace(ctx, tc)
+				adopted = true
+			}
+		}
 	}
-	out, err := b.price(b.ctx, problems)
+	out, err := b.price(ctx, problems)
 	for i, r := range batch {
+		r.span.End()
 		if err != nil {
 			r.done <- priceResponse{err: err}
 			continue

@@ -53,3 +53,48 @@ func BenchmarkServeBatching(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServeTracing measures the cost of per-request distributed
+// tracing at the recommended batch-16 setting: identical load with
+// tracing on and off. The trace machinery is a handful of span
+// allocations plus hex codec on the farm wire per request, so the
+// on/off gap should stay within a few percent (the ISSUE budget is 5%).
+//
+//	go test -bench BenchmarkServeTracing ./internal/serve
+func BenchmarkServeTracing(b *testing.B) {
+	for _, tracing := range []bool{true, false} {
+		name := "tracing=on"
+		if !tracing {
+			name = "tracing=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := New(Config{
+				Engine:         &risk.Engine{Workers: 4, BatchSize: 16},
+				MaxBatch:       16,
+				MaxDelay:       200 * time.Microsecond,
+				CacheSize:      1024,
+				MaxInflight:    4096,
+				MaxQueue:       4096,
+				DisableTracing: !tracing,
+			})
+			defer s.Close()
+			var next atomic.Int64
+			b.SetParallelism(128)
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := 50 + float64(next.Add(1)%100000)/1000
+					w := postJSON(s, "/price", cfBody(k))
+					if w.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", w.Code, w.Body.String())
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
+			}
+		})
+	}
+}

@@ -61,6 +61,11 @@ type Config struct {
 	// Telemetry receives the serve.* metrics; it is also what /metrics
 	// serves. Nil creates a private registry so /metrics always works.
 	Telemetry *telemetry.Registry
+	// DisableTracing turns off the per-request distributed traces (the
+	// span trees behind /debug/traces) without touching metrics. The
+	// tracing overhead benchmark flips it; production setups normally
+	// leave tracing on.
+	DisableTracing bool
 }
 
 // Server is the pricing service: micro-batcher + content-addressed
@@ -136,12 +141,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /price", s.handlePrice)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /metrics", telemetry.Handler(s.reg))
+	s.mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.reg))
+	s.mux.Handle("GET /metrics.json", telemetry.Handler(s.reg))
+	s.mux.Handle("GET /debug/traces", telemetry.TraceHandler(s.reg, telemetry.DefaultTraceCount))
 	return s
 }
 
 // Handler returns the server's HTTP surface: POST /price, POST /batch,
-// GET /healthz, GET /metrics.
+// GET /healthz, GET /metrics (Prometheus text format), GET /metrics.json
+// (the JSON snapshot), GET /debug/traces (slowest reassembled request
+// traces).
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // PriceProblem prices one problem through the full serving path —
@@ -187,12 +196,24 @@ func (s *Server) priceProblem(ctx context.Context, p *premia.Problem, wait bool)
 		}
 	}
 	req := &priceRequest{problem: p, done: make(chan priceResponse, 1)}
+	if !s.cfg.DisableTracing {
+		// Each flight leader roots one distributed trace; the batcher ends
+		// the queue span at flush and prices the whole batch under the
+		// first request's trace, so /debug/traces shows queue wait, batch
+		// delay, dispatch and worker compute per request.
+		req.span = s.reg.StartTrace("serve.request")
+		req.queue = req.span.StartChild("serve.queue")
+	}
 	if wait {
 		if err := s.batch.submitWait(ctx, req); err != nil {
+			req.queue.End()
+			req.span.End()
 			s.flight.finish(key, call, flightResult{err: err})
 			return risk.PriceOutcome{}, err
 		}
 	} else if !s.batch.submit(req) {
+		req.queue.End()
+		req.span.End()
 		s.reg.Counter("serve.rejected.queue").Add(1)
 		s.flight.finish(key, call, flightResult{err: ErrOverloaded})
 		return risk.PriceOutcome{}, ErrOverloaded

@@ -349,7 +349,13 @@ func TestBadRequests(t *testing.T) {
 	if w := getPath(s, "/healthz"); w.Code != http.StatusOK {
 		t.Fatalf("healthz: status %d", w.Code)
 	}
-	if w := getPath(s, "/metrics"); w.Code != http.StatusOK || !json.Valid(w.Body.Bytes()) {
-		t.Fatalf("metrics: status %d, valid JSON %v", w.Code, json.Valid(w.Body.Bytes()))
+	if w := getPath(s, "/metrics"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "# TYPE ") {
+		t.Fatalf("metrics: status %d, body %q not Prometheus text", w.Code, w.Body.String())
+	}
+	if w := getPath(s, "/metrics.json"); w.Code != http.StatusOK || !json.Valid(w.Body.Bytes()) {
+		t.Fatalf("metrics.json: status %d, valid JSON %v", w.Code, json.Valid(w.Body.Bytes()))
+	}
+	if w := getPath(s, "/debug/traces"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "trace(s) retained") {
+		t.Fatalf("debug/traces: status %d, body %q", w.Code, w.Body.String())
 	}
 }

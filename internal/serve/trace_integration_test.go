@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
+)
+
+// TestServeTraceOverTCPFarm is the end-to-end tracing acceptance test: a
+// request priced through the full serving path — admission, batcher,
+// engine — backed by TCP farm workers that each carry a FRESH telemetry
+// registry (so worker spans can only reach the server by riding the farm
+// wire) must leave one reassembled span tree on the server containing
+// the master-side farm.task spans and the worker-side farm.compute
+// spans, parent-linked, and /debug/traces must render it.
+func TestServeTraceOverTCPFarm(t *testing.T) {
+	reg := telemetry.New()
+	eng := &risk.Engine{
+		Workers:   2,
+		BatchSize: 4,
+		Telemetry: reg,
+		Backend:   &risk.TCPBackend{Spawn: risk.GoTCPWorkers(func(int) *telemetry.Registry { return telemetry.New() })},
+	}
+	s := New(Config{Engine: eng, Telemetry: reg, CacheSize: -1})
+	defer s.Close()
+
+	if w := postJSON(s, "/price", cfBody(100)); w.Code != http.StatusOK {
+		t.Fatalf("price: status %d body %s", w.Code, w.Body.String())
+	}
+
+	traces := reg.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("server retains %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	byID := make(map[uint64]telemetry.SpanRecord, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		byID[sp.ID] = sp
+	}
+	// The request tree must run serve.request → serve.queue and
+	// serve.request → … → farm.run → farm.task → farm.compute.
+	parentName := func(sp telemetry.SpanRecord) string { return byID[sp.ParentID].Name }
+	root, ok := tr.Find("serve.request")
+	if !ok {
+		t.Fatalf("no serve.request root in trace: %+v", tr.Spans)
+	}
+	if root.ParentID != 0 {
+		t.Fatalf("serve.request has parent %d, want root", root.ParentID)
+	}
+	if q, ok := tr.Find("serve.queue"); !ok || q.ParentID != root.ID {
+		t.Fatalf("serve.queue missing or mis-parented: %+v", q)
+	}
+	task, ok := tr.Find("farm.task")
+	if !ok {
+		t.Fatal("no master-side farm.task span in trace")
+	}
+	if parentName(task) != "farm.run" {
+		t.Fatalf("farm.task parent is %q, want farm.run", parentName(task))
+	}
+	compute, ok := tr.Find("farm.compute")
+	if !ok {
+		t.Fatal("no worker-side farm.compute span in trace (spans did not cross the wire)")
+	}
+	if compute.ParentID != task.ID {
+		t.Fatalf("farm.compute parent = %d, want farm.task %d", compute.ParentID, task.ID)
+	}
+	// farm.run must chain up to the serve.request root through the risk
+	// layer.
+	run, _ := tr.Find("farm.run")
+	for sp := run; ; {
+		if sp.ParentID == 0 {
+			if sp.ID != root.ID {
+				t.Fatalf("farm.run chains to root %q, want serve.request", sp.Name)
+			}
+			break
+		}
+		parent, ok := byID[sp.ParentID]
+		if !ok {
+			t.Fatalf("span %q has missing parent %d", sp.Name, sp.ParentID)
+		}
+		sp = parent
+	}
+
+	// /debug/traces renders the reassembled tree.
+	w := getPath(s, "/debug/traces")
+	if w.Code != http.StatusOK {
+		t.Fatalf("debug/traces: status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"serve.request", "farm.task", "farm.compute"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/traces misses %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeTracingDisabled checks the off switch: no traces accumulate,
+// pricing is unaffected.
+func TestServeTracingDisabled(t *testing.T) {
+	reg := telemetry.New()
+	s := New(Config{Telemetry: reg, DisableTracing: true, CacheSize: -1})
+	defer s.Close()
+	if w := postJSON(s, "/price", cfBody(100)); w.Code != http.StatusOK {
+		t.Fatalf("price: status %d body %s", w.Code, w.Body.String())
+	}
+	if traces := reg.Traces(); len(traces) != 0 {
+		t.Fatalf("tracing disabled but %d traces retained", len(traces))
+	}
+	if reg.SpanCount("farm.compute") == 0 {
+		t.Fatal("metrics-side spans should still record with tracing off")
+	}
+}

@@ -2,7 +2,10 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 )
 
 // Handler serves the registry's snapshot as indented JSON, in the
@@ -16,5 +19,96 @@ func Handler(r *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		// Encoding a fresh snapshot never fails; ignore client aborts.
 		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// Mux bundles the standard observability surface of one registry:
+//
+//	/metrics       Prometheus text format (rank-labelled, deterministic)
+//	/metrics.json  the JSON snapshot (the former /metrics payload)
+//	/debug/traces  slowest reassembled span trees with phase breakdown
+//	/              the JSON snapshot, for backward compatibility with
+//	               the original single-handler -telemetry endpoint
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", PrometheusHandler(r))
+	mux.Handle("/metrics.json", Handler(r))
+	mux.Handle("/debug/traces", TraceHandler(r, DefaultTraceCount))
+	mux.Handle("/", Handler(r))
+	return mux
+}
+
+// DefaultTraceCount is how many trees /debug/traces renders by default.
+const DefaultTraceCount = 16
+
+// fmtDur renders a duration in seconds at a human scale.
+func fmtDur(sec float64) string {
+	switch abs := sec; {
+	case abs >= 1 || abs <= -1:
+		return fmt.Sprintf("%.3fs", sec)
+	case abs >= 1e-3 || abs <= -1e-3:
+		return fmt.Sprintf("%.3fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	}
+}
+
+// writeTraceTree renders one span and its subtree, start-ordered.
+func writeTraceTree(w *strings.Builder, tr Trace, rec SpanRecord, depth int) {
+	fmt.Fprintf(w, "  %s%-*s %10s\n", strings.Repeat("  ", depth),
+		40-2*depth, rec.Name, fmtDur(rec.End-rec.Start))
+	for _, child := range tr.Children(rec.ID) {
+		writeTraceTree(w, tr, child, depth+1)
+	}
+}
+
+// RenderTraces formats the slowest n reassembled traces as text: one
+// indented tree per trace plus a per-phase (span name) duration
+// breakdown, master- and worker-side spans interleaved by parent links.
+func RenderTraces(r *Registry, n int) string {
+	traces := r.SlowestTraces(n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d trace(s) retained, slowest first\n", len(traces))
+	for _, tr := range traces {
+		fmt.Fprintf(&b, "\ntrace %016x  %s  %d span(s)\n", tr.TraceID, fmtDur(tr.Duration()), len(tr.Spans))
+		// Phase breakdown: total duration and count per span name.
+		type phase struct {
+			total float64
+			count int
+		}
+		phases := map[string]*phase{}
+		for _, s := range tr.Spans {
+			p := phases[s.Name]
+			if p == nil {
+				p = &phase{}
+				phases[s.Name] = p
+			}
+			p.total += s.End - s.Start
+			p.count++
+		}
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(a, b int) bool { return phases[names[a]].total > phases[names[b]].total })
+		b.WriteString("  phases:")
+		for _, name := range names {
+			p := phases[name]
+			fmt.Fprintf(&b, " %s %s (%d)", name, fmtDur(p.total), p.count)
+		}
+		b.WriteString("\n")
+		for _, root := range tr.Roots() {
+			writeTraceTree(&b, tr, root, 0)
+		}
+	}
+	return b.String()
+}
+
+// TraceHandler serves the slowest-n reassembled trace trees as plain
+// text — the /debug/traces endpoint.
+func TraceHandler(r *Registry, n int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(RenderTraces(r, n)))
 	})
 }

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) exposition of a registry
+// snapshot. Dotted metric names become underscore names; the per-rank
+// name schemes ("mpi.rank<N>.*", "farm.worker.<N>.*") are folded into a
+// bounded `rank` label so rank count does not multiply metric names;
+// histograms export as summaries (p50/p95/p99 quantile lines plus _sum
+// and _count); span aggregates export as *_spans_total and
+// *_span_seconds_total counters. Output ordering is deterministic:
+// families sort by name, series within a family by label set.
+
+// promSample is one output line: an optional name suffix (the summary
+// type's _sum/_count companions), a label set and a formatted value.
+type promSample struct {
+	suffix string // "", "_sum" or "_count"
+	labels string // rendered label block, "" or `{rank="3"}`
+	value  string
+}
+
+// promFamily is one metric family: a TYPE line plus its samples.
+type promFamily struct {
+	typ     string // counter | gauge | summary
+	samples []promSample
+}
+
+// promName converts a dotted metric name to a Prometheus metric name,
+// extracting a rank label from the unbounded per-rank segments:
+//
+//	mpi.rank3.msgs_sent     -> mpi_msgs_sent{rank="3"}
+//	farm.worker.7.busy_...  -> farm_worker_busy_...{rank="7"}
+//
+// The aggregate, rank-less series of the same family keeps the bare
+// name, so both appear under one family.
+func promName(name string) (out string, rank string) {
+	segs := strings.Split(name, ".")
+	kept := segs[:0]
+	for i, seg := range segs {
+		if rank == "" {
+			if n, rest := strings.CutPrefix(seg, "rank"); rest && isDigits(n) && n != "" {
+				rank = n
+				continue
+			}
+			if i > 0 && segs[i-1] == "worker" && isDigits(seg) && seg != "" {
+				rank = seg
+				continue
+			}
+		}
+		kept = append(kept, seg)
+	}
+	return sanitizeMetricName(strings.Join(kept, "_")), rank
+}
+
+func isDigits(s string) bool {
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// sanitizeMetricName maps arbitrary metric names onto the Prometheus
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelBlock renders an ordered label list into `{k="v",...}` ("" when
+// empty).
+func labelBlock(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders a snapshot in the Prometheus text format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	family := func(name, typ string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+	add := func(name, typ string, rankLabels []string, value string) {
+		f := family(name, typ)
+		f.samples = append(f.samples, promSample{labels: labelBlock(rankLabels...), value: value})
+	}
+	// suffixOrder keeps a summary family's lines in the canonical
+	// quantiles → _sum → _count order.
+	suffixOrder := map[string]int{"": 0, "_sum": 1, "_count": 2}
+	rankKV := func(rank string) []string {
+		if rank == "" {
+			return nil
+		}
+		return []string{"rank", rank}
+	}
+
+	for name, v := range s.Counters {
+		n, rank := promName(name)
+		add(n, "counter", rankKV(rank), strconv.FormatInt(v, 10))
+	}
+	for name, v := range s.Gauges {
+		n, rank := promName(name)
+		add(n, "gauge", rankKV(rank), formatFloat(v))
+	}
+	for name, st := range s.Histograms {
+		n, rank := promName(name)
+		f := family(n, "summary")
+		base := rankKV(rank)
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", st.P50}, {"0.95", st.P95}, {"0.99", st.P99}} {
+			kv := append(append([]string{}, base...), "quantile", q.q)
+			f.samples = append(f.samples, promSample{labels: labelBlock(kv...), value: formatFloat(q.v)})
+		}
+		f.samples = append(f.samples,
+			promSample{suffix: "_sum", labels: labelBlock(base...), value: formatFloat(st.Sum)},
+			promSample{suffix: "_count", labels: labelBlock(base...), value: strconv.FormatInt(st.Count, 10)})
+	}
+	for name, st := range s.Spans {
+		n, rank := promName(name)
+		add(n+"_spans_total", "counter", rankKV(rank), strconv.FormatInt(st.Count, 10))
+		add(n+"_span_seconds_total", "counter", rankKV(rank), formatFloat(st.TotalSeconds))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.samples, func(a, b int) bool {
+			sa, sb := f.samples[a], f.samples[b]
+			if suffixOrder[sa.suffix] != suffixOrder[sb.suffix] {
+				return suffixOrder[sa.suffix] < suffixOrder[sb.suffix]
+			}
+			return sa.labels < sb.labels
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, smp := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", name, smp.suffix, smp.labels, smp.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves the registry in the Prometheus text format —
+// what /metrics exposes on the pricing service and both CLIs (the JSON
+// snapshot moved to /metrics.json).
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Client aborts are the only failure mode; nothing to do about them.
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+}

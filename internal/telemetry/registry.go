@@ -31,6 +31,10 @@ type Registry struct {
 	spanMu   sync.Mutex
 	spanRing []SpanRecord
 	spanNext int
+
+	// traces retains the spans of recently seen traces for /debug/traces
+	// reassembly (local spans via recordSpan, remote ones via IngestSpans).
+	traces traceTable
 }
 
 // spanRingCap bounds the finished-span ring buffer.
@@ -38,13 +42,18 @@ const spanRingCap = 4096
 
 type spanAgg struct {
 	count Counter
-	total Gauge // summed duration in seconds
+	total Gauge      // summed duration in seconds
+	hist  *Histogram // the "span.<name>" histogram, resolved once
 }
 
-// New returns an empty registry on the wall clock.
+// New returns an empty registry on the wall clock. Span IDs start at a
+// random base so spans minted by different registries — in particular
+// different processes of one distributed farm — stay distinct when their
+// records meet in one trace tree.
 func New() *Registry {
 	r := &Registry{}
 	r.clock.Store(func() float64 { return wallSeconds() })
+	r.spanID.Store(randUint64())
 	return r
 }
 
@@ -121,7 +130,7 @@ func (r *Registry) spanAgg(name string) *spanAgg {
 	if v, ok := r.spanAggs.Load(name); ok {
 		return v.(*spanAgg)
 	}
-	v, _ := r.spanAggs.LoadOrStore(name, new(spanAgg))
+	v, _ := r.spanAggs.LoadOrStore(name, &spanAgg{hist: r.Histogram("span." + name)})
 	return v.(*spanAgg)
 }
 
@@ -131,7 +140,8 @@ func (r *Registry) recordSpan(rec SpanRecord) {
 	agg := r.spanAgg(rec.Name)
 	agg.count.Add(1)
 	agg.total.Add(rec.End - rec.Start)
-	r.Observe("span."+rec.Name, rec.End-rec.Start)
+	agg.hist.Observe(rec.End - rec.Start)
+	r.traces.add(rec)
 	r.spanMu.Lock()
 	if len(r.spanRing) < spanRingCap {
 		r.spanRing = append(r.spanRing, rec)

@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies a position in a distributed trace: the trace a
+// span belongs to and the span it should parent onto. The zero value
+// means "no trace"; spans started without one are metrics-only and never
+// enter the trace table. TraceContexts cross process boundaries packed
+// into farm task descriptors, which is how a worker's farm.compute span
+// ends up parented onto the master's farm.task span.
+type TraceContext struct {
+	// TraceID groups every span of one request / bench run; 0 = untraced.
+	TraceID uint64
+	// SpanID is the parent span for children started from this context.
+	SpanID uint64
+}
+
+// Valid reports whether the context carries a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// randUint64 draws a random non-zero 64-bit value, falling back to the
+// wall clock if the system entropy source fails.
+func randUint64() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if v := binary.LittleEndian.Uint64(b[:]); v != 0 {
+			return v
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+// traceIDs steps from a random base in odd strides, so trace IDs are
+// unique within a process without paying for an entropy read per
+// request, and different processes start from different bases.
+var traceIDs atomic.Uint64
+
+func init() { traceIDs.Store(randUint64()) }
+
+// NewTraceID mints a fresh trace ID (never 0).
+func NewTraceID() uint64 {
+	for {
+		if id := traceIDs.Add(0x9e3779b97f4a7c15); id != 0 {
+			return id
+		}
+	}
+}
+
+// traceCtxKey keys a TraceContext in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context carrying tc; invalid contexts are
+// not stored, so TraceFromContext stays a reliable "is tracing on" test.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context threaded through ctx.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// Trace-table retention bounds: traces beyond maxTraces evict the oldest
+// trace FIFO, and spans beyond maxTraceSpans within one trace are
+// dropped, so a hot server's trace memory stays fixed regardless of
+// request rate or batch size.
+const (
+	maxTraces     = 128
+	maxTraceSpans = 4096
+)
+
+// traceEntry accumulates the spans of one trace as they finish locally
+// or arrive from workers. A slice with linear dedupe beats a map here:
+// typical traces hold a handful of spans, and the table churns one entry
+// per request on a hot server.
+type traceEntry struct {
+	spans []SpanRecord // arrival order, deduped by span ID on add
+}
+
+// traceTable is the registry's bounded store of recently seen traces.
+type traceTable struct {
+	mu     sync.Mutex
+	traces map[uint64]*traceEntry
+	order  []uint64 // trace IDs in first-seen order, for FIFO eviction
+}
+
+// add files one finished span under its trace, deduplicating by span ID
+// (the same record can arrive twice when master and worker share a
+// registry: once from Span.End, once shipped back with the results).
+func (t *traceTable) add(rec SpanRecord) {
+	if rec.TraceID == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.traces == nil {
+		t.traces = make(map[uint64]*traceEntry)
+	}
+	e := t.traces[rec.TraceID]
+	if e == nil {
+		if len(t.order) >= maxTraces {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			if old := t.traces[oldest]; old != nil {
+				e = old // recycle: at steady state eviction funds admission
+				e.spans = e.spans[:0]
+			}
+			delete(t.traces, oldest)
+		}
+		if e == nil {
+			e = &traceEntry{spans: make([]SpanRecord, 0, 4)}
+		}
+		t.traces[rec.TraceID] = e
+		t.order = append(t.order, rec.TraceID)
+	}
+	for i := range e.spans {
+		if e.spans[i].ID == rec.ID {
+			return
+		}
+	}
+	if len(e.spans) >= maxTraceSpans {
+		return
+	}
+	e.spans = append(e.spans, rec)
+}
+
+// Trace is one reassembled span tree, as retained by the registry.
+type Trace struct {
+	// TraceID is the tree's trace identifier.
+	TraceID uint64
+	// Spans holds every retained span of the trace, ordered by start
+	// time (ties broken by span ID for determinism).
+	Spans []SpanRecord
+}
+
+// Duration is the trace's end-to-end extent: latest End minus earliest
+// Start over all retained spans.
+func (tr Trace) Duration() float64 {
+	if len(tr.Spans) == 0 {
+		return 0
+	}
+	lo, hi := tr.Spans[0].Start, tr.Spans[0].End
+	for _, s := range tr.Spans[1:] {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	return hi - lo
+}
+
+// Roots returns the spans whose parent is absent from the trace (the
+// request root, plus any orphaned subtrees whose parents were evicted).
+func (tr Trace) Roots() []SpanRecord {
+	present := make(map[uint64]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		present[s.ID] = true
+	}
+	var roots []SpanRecord
+	for _, s := range tr.Spans {
+		if s.ParentID == 0 || !present[s.ParentID] {
+			roots = append(roots, s)
+		}
+	}
+	return roots
+}
+
+// Children returns the spans parented directly on id, in start order.
+func (tr Trace) Children(id uint64) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range tr.Spans {
+		if s.ParentID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Find returns the first retained span with the given name.
+func (tr Trace) Find(name string) (SpanRecord, bool) {
+	for _, s := range tr.Spans {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SpanRecord{}, false
+}
+
+// Traces returns every retained trace, reassembled, in no particular
+// order. Each trace's spans are start-ordered.
+func (r *Registry) Traces() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.traces.mu.Lock()
+	out := make([]Trace, 0, len(r.traces.traces))
+	for id, e := range r.traces.traces {
+		tr := Trace{TraceID: id, Spans: make([]SpanRecord, len(e.spans))}
+		copy(tr.Spans, e.spans)
+		out = append(out, tr)
+	}
+	r.traces.mu.Unlock()
+	for i := range out {
+		spans := out[i].Spans
+		sort.Slice(spans, func(a, b int) bool {
+			if spans[a].Start != spans[b].Start {
+				return spans[a].Start < spans[b].Start
+			}
+			return spans[a].ID < spans[b].ID
+		})
+	}
+	return out
+}
+
+// SlowestTraces returns up to n retained traces ordered by descending
+// duration — what /debug/traces renders.
+func (r *Registry) SlowestTraces(n int) []Trace {
+	traces := r.Traces()
+	sort.Slice(traces, func(a, b int) bool {
+		da, db := traces[a].Duration(), traces[b].Duration()
+		if da != db {
+			return da > db
+		}
+		return traces[a].TraceID < traces[b].TraceID
+	})
+	if n > 0 && len(traces) > n {
+		traces = traces[:n]
+	}
+	return traces
+}
+
+// IngestSpans files remotely finished spans into the trace table — the
+// master calls it with the SpanRecords a worker shipped back alongside
+// its results (time-shifted onto the master clock by the caller).
+// Remote spans enter traces only: they were already counted into the
+// worker's own histograms, so re-observing them here would double-count
+// when master and worker share a registry.
+func (r *Registry) IngestSpans(recs []SpanRecord) {
+	if r == nil {
+		return
+	}
+	for _, rec := range recs {
+		r.traces.add(rec)
+	}
+}

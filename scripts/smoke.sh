@@ -1,0 +1,44 @@
+#!/bin/sh
+# End-to-end smoke test for the serving binary: boot riskserver, price
+# one request, and assert the health, metrics and trace endpoints all
+# respond with the right shape. CI runs this after `make check`.
+set -eu
+
+GO=${GO:-go}
+ADDR=${SMOKE_ADDR:-127.0.0.1:18080}
+tmp=$(mktemp -d)
+pid=
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+$GO build -o "$tmp/riskserver" ./cmd/riskserver
+"$tmp/riskserver" -addr "$ADDR" -workers 2 -batch 4 -pprof &
+pid=$!
+
+ok=
+for _ in $(seq 1 50); do
+	if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.2
+done
+[ -n "$ok" ] || { echo "smoke: riskserver did not come up on $ADDR" >&2; exit 1; }
+
+# Capture bodies before grepping: grep -q would close the pipe early
+# and make curl report a spurious write error.
+curl -fsS "http://$ADDR/price" -d '{"model":"BlackScholes1dim","option":"CallEuro","method":"CF_Call","params":{"S0":100,"r":0.05,"sigma":0.2,"K":100,"T":1}}' >"$tmp/price"
+grep -q '"price"' "$tmp/price" || { echo "smoke: /price gave no price" >&2; exit 1; }
+curl -fsS "http://$ADDR/metrics" >"$tmp/metrics"
+grep -q '# TYPE ' "$tmp/metrics" || { echo "smoke: /metrics is not Prometheus text" >&2; exit 1; }
+curl -fsS "http://$ADDR/metrics.json" >"$tmp/metrics.json"
+grep -q '"counters"' "$tmp/metrics.json" || { echo "smoke: /metrics.json is not a JSON snapshot" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/traces" >"$tmp/traces"
+grep -q 'serve.request' "$tmp/traces" || { echo "smoke: /debug/traces shows no serve.request trace" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/pprof/cmdline" >/dev/null || { echo "smoke: /debug/pprof not mounted" >&2; exit 1; }
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+echo "smoke: price, /metrics, /metrics.json, /debug/traces, /debug/pprof, /healthz all OK"
