@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench smoke
+.PHONY: build test vet race check bench smoke compat
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,15 @@ race:
 	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia ./internal/risk ./internal/serve
 
 check: build vet test race
+
+# compat runs the wire-protocol version matrix: every pairing of v1/v2
+# masters and workers over the tcp and unix transports must negotiate
+# down to the common subset and price bit-identically (spans and other
+# optional payloads silently unship across version boundaries). This is
+# the rolling-upgrade gate: it proves an old worker can serve a new
+# master and vice versa.
+compat:
+	$(GO) test -run TestCompat -v ./internal/mpi ./internal/risk
 
 # smoke boots riskserver, prices one request, and asserts /healthz,
 # /metrics, /metrics.json, /debug/traces and /debug/pprof all respond.

@@ -1,6 +1,6 @@
-// Command farmworker runs a live distributed farm over TCP, one process
-// per rank — the deployment shape of the paper's cluster runs, with the
-// hub replacing mpirun.
+// Command farmworker runs a live distributed farm, one process per rank
+// — the deployment shape of the paper's cluster runs, with the hub
+// replacing mpirun.
 //
 // Start the master (it waits for size-1 workers, then farms the chosen
 // portfolio):
@@ -10,6 +10,13 @@
 // Start each worker (possibly on other machines):
 //
 //	farmworker -connect master:7777
+//
+// -transport selects the wire (tcp by default; unix for same-host
+// worker pools, e.g. -transport unix -listen /tmp/farm.sock). Every
+// connection runs the versioned handshake, so a fleet mixing old and
+// new farmworker binaries negotiates each link down to the common
+// protocol subset — rolling upgrades never stop the farm. -proto pins
+// an older wire protocol for staging such upgrades.
 package main
 
 import (
@@ -38,9 +45,16 @@ func main() {
 		n         = flag.Int("n", 1000, "master mode: toy portfolio size")
 		stratName = flag.String("strategy", "serialized", "full | serialized (NFS needs a real shared mount)")
 		batch     = flag.Int("batch", 1, "tasks per message batch")
+		transport = flag.String("transport", "tcp", "mpi transport the world runs on (tcp | unix | inproc)")
+		proto     = flag.Int("proto", 0, "pin the wire-protocol version (0 = latest) for staged rolling upgrades")
 		telAddr   = flag.String("telemetry", "", "serve metrics (Prometheus /metrics, JSON /metrics.json) and /debug/traces on this address (e.g. :9090)")
 	)
 	flag.Parse()
+	if _, err := mpi.LookupTransport(*transport); err != nil {
+		fmt.Fprintf(os.Stderr, "farmworker: %v\n", err)
+		os.Exit(2)
+	}
+	wopts := mpi.WorldOptions{Transport: *transport, Proto: *proto}
 
 	// SIGINT and SIGTERM (what orchestrators send first) both trigger the
 	// cooperative drain: masters stop dispatching and workers finish the
@@ -63,9 +77,9 @@ func main() {
 
 	switch {
 	case *connect != "":
-		runWorker(*connect, reg)
+		runWorker(*connect, wopts, reg)
 	case *listen != "":
-		runMaster(ctx, *listen, *size, *pfName, *n, *stratName, *batch, reg)
+		runMaster(ctx, *listen, *size, *pfName, *n, *stratName, *batch, wopts, reg)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -77,14 +91,14 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func runWorker(addr string, reg *telemetry.Registry) {
+func runWorker(addr string, wopts mpi.WorldOptions, reg *telemetry.Registry) {
 	// Workers always carry a registry, even without -telemetry: a traced
 	// batch from the master needs worker-side spans to exist before they
 	// can ship back for reassembly.
 	if reg == nil {
 		reg = telemetry.New()
 	}
-	c, err := mpi.DialHub(addr)
+	c, err := mpi.DialHubWith(addr, wopts)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -100,7 +114,7 @@ func runWorker(addr string, reg *telemetry.Registry) {
 	fmt.Println("worker done")
 }
 
-func runMaster(ctx context.Context, addr string, size int, pfName string, n int, stratName string, batch int, reg *telemetry.Registry) {
+func runMaster(ctx context.Context, addr string, size int, pfName string, n int, stratName string, batch int, wopts mpi.WorldOptions, reg *telemetry.Registry) {
 	var strat farm.Strategy
 	switch stratName {
 	case "full":
@@ -108,7 +122,7 @@ func runMaster(ctx context.Context, addr string, size int, pfName string, n int,
 	case "serialized":
 		strat = farm.SerializedLoad
 	default:
-		fatalf("unsupported strategy %q for TCP mode", stratName)
+		fatalf("unsupported strategy %q for hub mode", stratName)
 	}
 	var pf *portfolio.Portfolio
 	switch pfName {
@@ -123,7 +137,7 @@ func runMaster(ctx context.Context, addr string, size int, pfName string, n int,
 	if err != nil {
 		fatalf("%v", err)
 	}
-	hub, err := mpi.ListenHub(addr, size)
+	hub, err := mpi.ListenHubWith(addr, size, wopts)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -144,6 +158,6 @@ func runMaster(ctx context.Context, addr string, size int, pfName string, n int,
 		price, _ := farm.ResultField(r, "price")
 		sum += price
 	}
-	fmt.Printf("priced %d claims in %v over %d TCP workers; aggregate value %.4f\n",
-		len(results), time.Since(start).Round(time.Millisecond), size-1, sum)
+	fmt.Printf("priced %d claims in %v over %d %s workers; aggregate value %.4f\n",
+		len(results), time.Since(start).Round(time.Millisecond), size-1, wopts.Transport, sum)
 }

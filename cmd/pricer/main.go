@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,10 @@ import (
 	"strings"
 	"time"
 
+	"riskbench/internal/mpi"
 	"riskbench/internal/premia"
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
 )
 
 // paramFlags collects repeated -p key=value flags.
@@ -46,13 +50,14 @@ func (p paramFlags) Set(s string) error {
 func main() {
 	params := paramFlags{}
 	var (
-		model   = flag.String("model", "", "model name (see riskbench -methods)")
-		option  = flag.String("option", "", "option name")
-		method  = flag.String("method", "", "method name")
-		save    = flag.String("save", "", "save the problem to this file instead of pricing")
-		load    = flag.String("load", "", "load a problem from this file")
-		greeks  = flag.Bool("greeks", false, "also report gamma, vega, theta and rho")
-		implied = flag.Float64("implied", 0, "invert this market price to an implied volatility instead of pricing")
+		model     = flag.String("model", "", "model name (see riskbench -methods)")
+		option    = flag.String("option", "", "option name")
+		method    = flag.String("method", "", "method name")
+		save      = flag.String("save", "", "save the problem to this file instead of pricing")
+		load      = flag.String("load", "", "load a problem from this file")
+		greeks    = flag.Bool("greeks", false, "also report gamma, vega, theta and rho")
+		implied   = flag.Float64("implied", 0, "invert this market price to an implied volatility instead of pricing")
+		transport = flag.String("transport", "local", "price in-process (local) or through a one-worker farm on a framed mpi transport (tcp | unix | inproc)")
 	)
 	flag.Var(params, "p", "problem parameter key=value (repeatable)")
 	flag.Parse()
@@ -91,7 +96,7 @@ func main() {
 		return
 	}
 	start := time.Now()
-	res, err := p.Compute()
+	res, err := compute(*transport, p)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -115,6 +120,31 @@ func main() {
 		fmt.Printf("rho:      %.6f\n", g.Rho)
 	}
 	fmt.Printf("elapsed:  %v\n", time.Since(start).Round(time.Microsecond))
+}
+
+// compute prices p in-process, or — with a non-local transport — through
+// a one-worker farm round over the framed wire, exercising the same
+// handshake, negotiation and codec path the deployed fleet uses. Prices
+// are identical either way; the farm path is a smoke test of the wire.
+func compute(transport string, p *premia.Problem) (premia.Result, error) {
+	if transport == "" || transport == "local" {
+		return p.Compute()
+	}
+	if _, err := mpi.LookupTransport(transport); err != nil {
+		return premia.Result{}, fmt.Errorf("%w (or \"local\")", err)
+	}
+	eng := risk.Engine{Workers: 1, Backend: &risk.NetBackend{
+		Transport: transport,
+		Spawn:     risk.GoNetWorkers(func(int) *telemetry.Registry { return telemetry.New() }, 0),
+	}}
+	out, err := eng.PriceBatch(context.Background(), []*premia.Problem{p})
+	if err != nil {
+		return premia.Result{}, err
+	}
+	if out[0].Err != nil {
+		return premia.Result{}, out[0].Err
+	}
+	return out[0].Result, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -29,8 +29,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"syscall"
 	"sync"
+	"syscall"
 	"time"
 
 	"riskbench/internal/bench"
@@ -52,6 +52,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.NumCPU(), "live worker count")
 		stratName = flag.String("strategy", "serialized", "communication strategy: full | nfs | serialized")
 		batch     = flag.Int("batch", 1, "tasks per message batch")
+		transport = flag.String("transport", "local", "live worker transport: local (in-process goroutines) or a framed mpi transport (tcp | unix | inproc)")
 		methods   = flag.Bool("methods", false, "list registered pricing methods and exit")
 		util      = flag.Bool("utilization", false, "report worker utilization across CPU counts on the simulator")
 		selftest  = flag.Bool("selftest", false, "run the §4.1 non-regression suite live and report per-method results")
@@ -116,7 +117,7 @@ func main() {
 		spec.MaxCPUs = *maxCPUs
 		runTable(ctx, spec, *calibrate, reg)
 	case *live:
-		runLive(ctx, *pfName, *n, *workers, *stratName, *batch, reg)
+		runLive(ctx, *pfName, *n, *workers, *stratName, *transport, *batch, reg)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -285,7 +286,7 @@ func runUtilization(ctx context.Context, pfName string, n int, stratName string,
 	}
 }
 
-func runLive(ctx context.Context, pfName string, n, workers int, stratName string, batch int, reg *telemetry.Registry) {
+func runLive(ctx context.Context, pfName string, n, workers int, stratName, transport string, batch int, reg *telemetry.Registry) {
 	strat := parseStrategy(stratName)
 	pf := buildPortfolio(pfName, n)
 	tasks, err := pf.Tasks()
@@ -301,23 +302,68 @@ func runLive(ctx context.Context, pfName string, n, workers int, stratName strin
 		store = ms
 	}
 	opts := farm.Options{Strategy: strat, BatchSize: batch, Telemetry: reg}
-	wopts := opts
-	wopts.LocalSpans = true // workers share the process registry
-	world := mpi.NewLocalWorld(workers + 1)
-	defer world.Close()
 	var wg sync.WaitGroup
-	for r := 1; r <= workers; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, store, wopts); err != nil {
-				fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
-			}
-		}(r)
+	var master mpi.Comm
+	var closeWorld func()
+	if transport == "" || transport == "local" {
+		// The default shape: a goroutine world with shared mailboxes, no
+		// framing, workers writing spans into the process registry.
+		wopts := opts
+		wopts.LocalSpans = true // workers share the process registry
+		world := mpi.NewLocalWorld(workers + 1)
+		closeWorld = world.Close
+		for r := 1; r <= workers; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				if err := farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, store, wopts); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
+				}
+			}(r)
+		}
+		master = world.Comm(0)
+	} else {
+		// A framed hub world on the chosen transport: goroutine workers
+		// dial through the real wire, negotiate the protocol per
+		// connection, and ship spans back by frame from their own
+		// registries.
+		if _, err := mpi.LookupTransport(transport); err != nil {
+			fatalf("%v (or \"local\")", err)
+		}
+		hub, err := mpi.ListenHubWith("", workers+1, mpi.WorldOptions{Transport: transport})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		closeWorld = func() { hub.Close() }
+		// Workers dial from their own goroutines: the hub only accepts
+		// connections inside WaitWorkers, so dialing before it runs would
+		// deadlock on the handshake reply.
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := mpi.DialHubWith(hub.Addr(), mpi.WorldOptions{Transport: transport})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: dial %s hub: %v\n", i+1, transport, err)
+					return
+				}
+				defer c.Close()
+				wopts := opts
+				wopts.Telemetry = telemetry.New() // spans travel by frame, not shared memory
+				if err := farm.RunWorker(c, farm.LiveExecutor{}, store, wopts); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: %v\n", i+1, err)
+				}
+			}(i)
+		}
+		if err := hub.WaitWorkers(); err != nil {
+			fatalf("%v", err)
+		}
+		master = hub
 	}
+	defer closeWorld()
 	root := reg.StartTrace("bench.run")
 	start := time.Now()
-	results, err := farm.RunMaster(telemetry.ContextWithTrace(ctx, root.Context()), world.Comm(0), tasks, farm.LiveLoader{}, opts)
+	results, err := farm.RunMaster(telemetry.ContextWithTrace(ctx, root.Context()), master, tasks, farm.LiveLoader{}, opts)
 	if err != nil {
 		fatalf("master: %v", err)
 	}
@@ -329,7 +375,11 @@ func runLive(ctx context.Context, pfName string, n, workers int, stratName strin
 		price, _ := farm.ResultField(r, "price")
 		sum += price
 	}
-	fmt.Printf("portfolio %s: priced %d claims in %v with %d workers (%s strategy, batch %d)\n",
-		pf.Name, len(results), elapsed.Round(time.Millisecond), workers, strat, batch)
+	shape := transport
+	if shape == "" {
+		shape = "local"
+	}
+	fmt.Printf("portfolio %s: priced %d claims in %v with %d %s workers (%s strategy, batch %d)\n",
+		pf.Name, len(results), elapsed.Round(time.Millisecond), workers, shape, strat, batch)
 	fmt.Printf("aggregate portfolio value: %.4f\n", sum)
 }

@@ -27,6 +27,11 @@
 // With -pprof, the standard net/http/pprof profiling handlers are
 // additionally mounted under /debug/pprof/.
 //
+// -transport selects where the farm workers live: "local" (default)
+// prices on in-process goroutine ranks; "tcp", "unix" or "inproc" run a
+// framed hub world on that mpi transport with the versioned wire
+// handshake — "unix" is the recommended same-host worker-pool shape.
+//
 // SIGINT/SIGTERM drains gracefully: admission stops (healthz flips to
 // 503 so load balancers rotate the instance out), in-flight farm
 // batches finish, and only then does the process exit.
@@ -77,6 +82,7 @@ func main() {
 		maxInflight = flag.Int("maxinflight", 256, "admitted concurrent requests before shedding with 429")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request pricing deadline")
 		kernel      = flag.Int("kernelthreads", 0, "multicore kernel threads per pricing task (0 = serial)")
+		transport   = flag.String("transport", "local", "farm worker transport: local (in-process goroutines) or a framed mpi transport (tcp | unix | inproc)")
 		drainWait   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight work on shutdown")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		noTrace     = flag.Bool("notrace", false, "disable per-request distributed tracing")
@@ -92,8 +98,24 @@ func main() {
 	premia.SetTelemetry(reg)
 	mpi.SetTelemetry(reg)
 
+	// The transport decides where farm workers live: "local" is the
+	// in-process goroutine world; anything else is a framed hub world
+	// with per-connection protocol negotiation, so mixed-version fleets
+	// keep serving through rolling upgrades.
+	var backend risk.FarmBackend
+	if *transport != "local" {
+		if _, err := mpi.LookupTransport(*transport); err != nil {
+			fmt.Fprintf(os.Stderr, "riskserver: %v (or \"local\")\n", err)
+			os.Exit(2)
+		}
+		backend = &risk.NetBackend{
+			Transport: *transport,
+			Spawn:     risk.GoNetWorkers(func(int) *telemetry.Registry { return telemetry.New() }, 0),
+		}
+	}
+
 	srv := serve.New(serve.Config{
-		Engine:         &risk.Engine{Workers: *workers, BatchSize: *batch, KernelThreads: *kernel, Telemetry: reg},
+		Engine:         &risk.Engine{Workers: *workers, BatchSize: *batch, KernelThreads: *kernel, Telemetry: reg, Backend: backend},
 		MaxBatch:       *batch,
 		MaxDelay:       *maxDelay,
 		CacheSize:      *cacheSize,
@@ -110,8 +132,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "riskserver: serving on %s (workers=%d batch=%d cache=%d maxinflight=%d)\n",
-		*addr, *workers, *batch, *cacheSize, *maxInflight)
+	fmt.Fprintf(os.Stderr, "riskserver: serving on %s (workers=%d batch=%d cache=%d maxinflight=%d transport=%s)\n",
+		*addr, *workers, *batch, *cacheSize, *maxInflight, *transport)
 
 	select {
 	case err := <-errc:

@@ -4,6 +4,7 @@ package riskbench_test
 // test runner also verifies.
 
 import (
+	"context"
 	"fmt"
 
 	"riskbench"
@@ -58,6 +59,32 @@ func ExampleImpliedVol() {
 	}
 	fmt.Printf("implied vol %.4f\n", iv)
 	// Output: implied vol 0.2000
+}
+
+// ExampleWithTransport prices through the framed wire instead of the
+// in-process goroutine world: the engine's workers dial a unix-domain-
+// socket hub, every connection runs the versioned protocol handshake,
+// and prices come back bit-identical to the local path. Swapping "unix"
+// for "tcp" is the cross-host deployment shape; external worker pools
+// use risk.NetBackend directly.
+func ExampleWithTransport() {
+	eng := riskbench.NewEngine(
+		riskbench.WithTransport("unix"),
+		riskbench.WithWorkers(2),
+	)
+	p := riskbench.NewProblem().
+		SetModel(riskbench.ModelBS1D).
+		SetOption(riskbench.OptCallEuro).
+		SetMethod(riskbench.MethodCFCall).
+		Set("S0", 100).Set("r", 0.05).Set("sigma", 0.2).
+		Set("K", 100).Set("T", 1)
+	out, err := eng.PriceBatch(context.Background(), []*riskbench.Problem{p})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("price %.4f\n", out[0].Result.Price)
+	// Output: price 10.4506
 }
 
 // ExampleVaR computes the empirical value-at-risk of a P&L sample.

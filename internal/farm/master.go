@@ -216,7 +216,12 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 			for range qb.tasks {
 				pb.spans = append(pb.spans, runSpan.StartChild("farm.task"))
 			}
-			if tc := runSpan.Context(); tc.Valid() {
+			// Trace context rides the descriptor only when the worker
+			// negotiated the spans capability: a peer that never said it
+			// understands span payloads (an older build joining during a
+			// rolling upgrade) gets a plain descriptor, prices it
+			// identically, and ships no spans back.
+			if tc := runSpan.Context(); tc.Valid() && mpi.PeerCaps(c, w).Has(mpi.CapSpans) {
 				bt.traceID = tc.TraceID
 				for _, sp := range pb.spans {
 					bt.parents = append(bt.parents, sp.ID())

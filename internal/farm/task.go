@@ -249,7 +249,7 @@ func decodeBatch(o nsp.Object) (batchDesc, error) {
 // the master can shift worker clocks onto its own).
 const (
 	spanMarker  = "__spans"
-	spanIDs     = "ids"    // 1x2n matrix of 32-bit ID halves
+	spanIDs     = "ids" // 1x2n matrix of 32-bit ID halves
 	spanParents = "parents"
 	spanTraces  = "traces"
 	spanNames   = "names"  // intern table: the distinct span names

@@ -53,8 +53,14 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 		if len(names) == 0 {
 			return nil // stop message
 		}
+		// Optional payload features are gated on the negotiated
+		// capability set: a hub that never announced the spans
+		// capability (an older master during a rolling upgrade) gets
+		// results without span payloads, and one that never announced
+		// hasdelta gets result hashes without the marker field.
+		caps := mpi.PeerCaps(c, master)
 		traced := reg != nil && desc.Trace.valid() && len(desc.Trace.parents) == len(names)
-		ship := traced && !opts.LocalSpans
+		ship := traced && !opts.LocalSpans && caps.Has(mpi.CapSpans)
 		taskCtx := func(i int) telemetry.TraceContext {
 			return telemetry.TraceContext{TraceID: desc.Trace.traceID, SpanID: desc.Trace.parents[i]}
 		}
@@ -120,6 +126,9 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 				// worker's: report it and keep serving (the master decides
 				// whether to retry).
 				res = errorResultHash(name, err.Error())
+			}
+			if h, ok := res.(*nsp.Hash); ok && !caps.Has(mpi.CapHasDelta) {
+				h.Del("hasdelta")
 			}
 			out.Add(res)
 		}

@@ -1,0 +1,257 @@
+package mpi
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"riskbench/internal/nsp"
+)
+
+func TestLookupTransport(t *testing.T) {
+	for _, name := range []string{"", "tcp", "unix", "inproc"} {
+		tr, err := LookupTransport(name)
+		if err != nil {
+			t.Fatalf("LookupTransport(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "tcp"
+		}
+		if tr.Name() != want {
+			t.Fatalf("LookupTransport(%q).Name() = %q", name, tr.Name())
+		}
+	}
+	if _, err := LookupTransport("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport looked up without error")
+	} else if !strings.Contains(err.Error(), "carrier-pigeon") {
+		t.Fatalf("error %q does not name the transport", err)
+	}
+	names := Transports()
+	for _, want := range []string{"inproc", "tcp", "unix"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("Transports() = %v, missing %q", names, want)
+		}
+	}
+}
+
+func TestRegisterTransportDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterTransport(tcpTransport{})
+}
+
+// startTransportWorld is startTCPWorld generalized over the registry.
+func startTransportWorld(t *testing.T, transport string, size int) (*HubComm, []*WorkerComm) {
+	t.Helper()
+	return startWorldWith(t, size, WorldOptions{Transport: transport}, WorldOptions{})
+}
+
+// TestTransportWorlds runs the same correctness suite over every
+// built-in transport: handshake rank assignment, hub round trips,
+// worker-to-worker routing and object transmission.
+func TestTransportWorlds(t *testing.T) {
+	for _, transport := range []string{"tcp", "unix", "inproc"} {
+		t.Run(transport, func(t *testing.T) {
+			hub, workers := startTransportWorld(t, transport, 4)
+			if hub.Rank() != 0 || hub.Size() != 4 {
+				t.Fatalf("hub rank/size = %d/%d", hub.Rank(), hub.Size())
+			}
+			seen := map[int]bool{}
+			for _, w := range workers {
+				if w.Size() != 4 || w.Rank() < 1 || w.Rank() > 3 || seen[w.Rank()] {
+					t.Fatalf("bad worker rank/size %d/%d", w.Rank(), w.Size())
+				}
+				seen[w.Rank()] = true
+			}
+
+			// Hub → worker → hub echoes, all ranks concurrently.
+			var wg sync.WaitGroup
+			for _, w := range workers {
+				wg.Add(1)
+				go func(w *WorkerComm) {
+					defer wg.Done()
+					data, st, err := w.Recv(0, AnyTag)
+					if err != nil {
+						return
+					}
+					_ = w.Send(append(data, byte(w.Rank())), 0, st.Tag)
+				}(w)
+			}
+			for r := 1; r <= 3; r++ {
+				if err := hub.Send([]byte{9}, r, 5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				data, st, err := hub.Recv(AnySource, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(data) != 2 || data[0] != 9 || int(data[1]) != st.Source {
+					t.Fatalf("echo mismatch: % x from %d", data, st.Source)
+				}
+			}
+			wg.Wait()
+
+			// Worker to worker via the hub router.
+			w1, w2 := workers[0], workers[1]
+			go func() { _ = w1.Send([]byte("peer"), w2.Rank(), 9) }()
+			data, st, err := w2.Recv(w1.Rank(), 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != "peer" || st.Source != w1.Rank() {
+				t.Fatalf("got %q from %d", data, st.Source)
+			}
+
+			// Structured objects survive the framed wire.
+			h := nsp.NewHash()
+			h.Set("A", nsp.RowVec(3.14, 2.71))
+			h.Set("msg", nsp.Str("over "+transport))
+			go func() { _ = SendObj(hub, h, 1, 2) }()
+			got, _, err := RecvObj(workers[0], 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(h) {
+				t.Fatalf("object corrupted over %s", transport)
+			}
+		})
+	}
+}
+
+// TestUnixEphemeralSocket checks the unix transport's ephemeral
+// addressing: an empty address binds a fresh socket under the temp
+// directory, and closing the hub unlinks it.
+func TestUnixEphemeralSocket(t *testing.T) {
+	hub, err := ListenHubWith("", 2, WorldOptions{Transport: "unix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := hub.Addr()
+	info, err := os.Lstat(path)
+	if err != nil {
+		t.Fatalf("socket path %q: %v", path, err)
+	}
+	if info.Mode()&os.ModeSocket == 0 {
+		t.Fatalf("%q is not a socket", path)
+	}
+	hub.Close()
+	if _, err := os.Lstat(path); !os.IsNotExist(err) {
+		t.Fatalf("socket %q not unlinked on close (err=%v)", path, err)
+	}
+}
+
+// TestTransportCloseUnblocksWorker generalizes the shutdown contract:
+// closing the hub must unblock a worker parked in Recv, on any
+// transport.
+func TestTransportCloseUnblocksWorker(t *testing.T) {
+	for _, transport := range []string{"tcp", "unix", "inproc"} {
+		t.Run(transport, func(t *testing.T) {
+			hub, workers := startTransportWorld(t, transport, 2)
+			done := make(chan error, 1)
+			go func() {
+				_, _, err := workers[0].Recv(0, 0)
+				done <- err
+			}()
+			hub.Close()
+			if err := <-done; err == nil {
+				t.Fatal("worker Recv returned nil after hub close")
+			}
+		})
+	}
+}
+
+// BenchmarkFrameCodecRead measures the codec's receive path: after the
+// scratch buffer warms up, reading a frame should allocate nothing.
+func BenchmarkFrameCodecRead(b *testing.B) {
+	payload := make([]byte, 4096)
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, 1, 0, 3, payload); err != nil {
+		b.Fatal(err)
+	}
+	frame := buf.Bytes()
+	fc := newFrameCodec(ProtoLatest)
+	r := bytes.NewReader(frame)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, _, _, _, err := fc.readFrame(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameCodecWrite measures the send path, which should never
+// allocate.
+func BenchmarkFrameCodecWrite(b *testing.B) {
+	payload := make([]byte, 4096)
+	fc := newFrameCodec(ProtoLatest)
+	b.SetBytes(int64(len(payload)) + 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fc.writeFrame(io.Discard, 1, 0, 3, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHubRoundTrip measures a full request/response over each real
+// transport: one 4 KiB frame out, one back, through the framed hub.
+func BenchmarkHubRoundTrip(b *testing.B) {
+	for _, transport := range []string{"tcp", "unix", "inproc"} {
+		b.Run(transport, func(b *testing.B) {
+			hub, err := ListenHubWith("", 2, WorldOptions{Transport: transport})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer hub.Close()
+			accepted := make(chan error, 1)
+			go func() { accepted <- hub.WaitWorkers() }()
+			w, err := DialHubWith(hub.Addr(), WorldOptions{Transport: transport})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			if err := <-accepted; err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for {
+					data, st, err := w.Recv(0, AnyTag)
+					if err != nil {
+						return
+					}
+					if err := w.Send(data, 0, st.Tag); err != nil {
+						return
+					}
+				}
+			}()
+			payload := make([]byte, 4096)
+			b.SetBytes(2 * int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := hub.Send(payload, 1, 1); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := hub.Recv(1, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

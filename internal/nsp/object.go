@@ -262,6 +262,9 @@ func (h *Hash) Get(key string) (Object, bool) {
 	return o, ok
 }
 
+// Del removes the entry stored under key, if any — hash_delete in Nsp.
+func (h *Hash) Del(key string) { delete(h.m, key) }
+
 // Len returns the number of entries.
 func (h *Hash) Len() int { return len(h.m) }
 

@@ -63,37 +63,51 @@ func (LocalBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Option
 	return results, nil
 }
 
-// TCPBackend prices each round over real TCP connections: it listens on
-// Addr, asks Spawn to start the round's workers dialing in (separate
-// processes in deployment, goroutines in tests), and masters the round
-// over the hub. Worker-side telemetry lives in whatever registries the
-// spawned workers carry; their spans travel back over the wire.
-type TCPBackend struct {
-	// Addr is the listen address; default "127.0.0.1:0".
+// NetBackend prices each round over a framed mpi transport: it listens
+// on Addr via the named transport, asks Spawn to start the round's
+// workers dialing in (separate processes in deployment, goroutines in
+// tests), and masters the round over the hub. The hub runs the
+// versioned handshake with every worker, so a mixed-version pool —
+// mid-rolling-upgrade — negotiates each connection down to the common
+// protocol subset and the round still completes with identical prices.
+// Worker-side telemetry lives in whatever registries the spawned
+// workers carry; their spans travel back over the wire when the
+// negotiation allows it.
+type NetBackend struct {
+	// Transport names a registered mpi transport: "tcp" (the default,
+	// cross-host), "unix" (same-host worker pools over unix-domain
+	// sockets) or "inproc" (net.Pipe worlds, the full wire path with no
+	// OS sockets).
+	Transport string
+	// Addr is the listen address in the transport's own format; empty
+	// selects a transport-chosen ephemeral address (127.0.0.1:0 for
+	// tcp, a fresh temp-dir socket path for unix).
 	Addr string
-	// Spawn must cause `workers` workers to mpi.DialHub(addr) and run
-	// farm.RunWorker until the stop message. It returns a wait function
-	// joining them (may be nil). Required.
-	Spawn func(addr string, workers int) (wait func() error, err error)
+	// Proto pins the hub's wire-protocol version (mpi.ProtoV1 or
+	// mpi.ProtoV2); 0 speaks the latest. Compatibility tests pin
+	// adjacent versions; deployments leave it alone.
+	Proto int
+	// Spawn must cause `workers` workers to mpi.DialHubWith the given
+	// transport and address and run farm.RunWorker until the stop
+	// message. It returns a wait function joining them (may be nil).
+	// Required.
+	Spawn func(transport, addr string, workers int) (wait func() error, err error)
 }
 
-// Run implements FarmBackend over a TCP hub.
-func (b *TCPBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Options, nw int) ([]farm.Result, error) {
+// Run implements FarmBackend over a hub world on the configured
+// transport.
+func (b *NetBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Options, nw int) ([]farm.Result, error) {
 	if b.Spawn == nil {
-		return nil, errors.New("risk: TCPBackend needs a Spawn function")
+		return nil, errors.New("risk: NetBackend needs a Spawn function")
 	}
-	addr := b.Addr
-	if addr == "" {
-		addr = "127.0.0.1:0"
-	}
-	hub, err := mpi.ListenHub(addr, nw+1)
+	hub, err := mpi.ListenHubWith(b.Addr, nw+1, mpi.WorldOptions{Transport: b.Transport, Proto: b.Proto})
 	if err != nil {
 		return nil, err
 	}
 	defer hub.Close()
 	accepted := make(chan error, 1)
 	go func() { accepted <- hub.WaitWorkers() }()
-	wait, err := b.Spawn(hub.Addr(), nw)
+	wait, err := b.Spawn(b.Transport, hub.Addr(), nw)
 	if err != nil {
 		return nil, err
 	}
@@ -114,23 +128,24 @@ func (b *TCPBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Optio
 	}
 	if wait != nil {
 		if werr := wait(); werr != nil {
-			return nil, fmt.Errorf("risk: tcp worker: %w", werr)
+			return nil, fmt.Errorf("risk: %s worker: %w", hub.Addr(), werr)
 		}
 	}
 	return results, nil
 }
 
-// GoTCPWorkers returns a TCPBackend Spawn function running each worker
-// as a goroutine of this process with its own Comm over the real TCP
-// wire — the test and single-machine shape. newRegistry, when non-nil,
-// supplies each worker's telemetry registry (a fresh registry per worker
-// proves spans travel by wire rather than by shared memory).
-func GoTCPWorkers(newRegistry func(worker int) *telemetry.Registry) func(addr string, workers int) (func() error, error) {
-	return func(addr string, workers int) (func() error, error) {
+// GoNetWorkers returns a NetBackend Spawn function running each worker
+// as a goroutine of this process with its own Comm over the real wire —
+// the test and single-machine shape. newRegistry, when non-nil,
+// supplies each worker's telemetry registry (a fresh registry per
+// worker proves spans travel by wire rather than by shared memory).
+// proto pins the workers' wire-protocol version; 0 speaks the latest.
+func GoNetWorkers(newRegistry func(worker int) *telemetry.Registry, proto int) func(transport, addr string, workers int) (func() error, error) {
+	return func(transport, addr string, workers int) (func() error, error) {
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
 		for i := 0; i < workers; i++ {
-			c, err := mpi.DialHub(addr)
+			c, err := mpi.DialHubWith(addr, mpi.WorldOptions{Transport: transport, Proto: proto})
 			if err != nil {
 				return nil, err
 			}
@@ -150,5 +165,48 @@ func GoTCPWorkers(newRegistry func(worker int) *telemetry.Registry) func(addr st
 			wg.Wait()
 			return errors.Join(errs...)
 		}, nil
+	}
+}
+
+// TCPBackend prices each round over real TCP connections.
+//
+// Deprecated: TCPBackend is NetBackend fixed to the tcp transport; new
+// code should set NetBackend{Transport: "tcp"} (or any other registered
+// transport) directly. The shim remains so existing constructors keep
+// compiling through the transition.
+type TCPBackend struct {
+	// Addr is the listen address; default "127.0.0.1:0".
+	Addr string
+	// Spawn must cause `workers` workers to mpi.DialHub(addr) and run
+	// farm.RunWorker until the stop message. It returns a wait function
+	// joining them (may be nil). Required.
+	Spawn func(addr string, workers int) (wait func() error, err error)
+}
+
+// Run implements FarmBackend over a TCP hub by delegating to
+// NetBackend.
+func (b *TCPBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Options, nw int) ([]farm.Result, error) {
+	if b.Spawn == nil {
+		return nil, errors.New("risk: TCPBackend needs a Spawn function")
+	}
+	nb := &NetBackend{
+		Transport: "tcp",
+		Addr:      b.Addr,
+		Spawn: func(_, addr string, workers int) (func() error, error) {
+			return b.Spawn(addr, workers)
+		},
+	}
+	return nb.Run(ctx, tasks, opts, nw)
+}
+
+// GoTCPWorkers returns a TCPBackend Spawn function running each worker
+// as a goroutine of this process over the real TCP wire.
+//
+// Deprecated: use GoNetWorkers, which spawns over any registered
+// transport and can pin a protocol version for compatibility tests.
+func GoTCPWorkers(newRegistry func(worker int) *telemetry.Registry) func(addr string, workers int) (func() error, error) {
+	spawn := GoNetWorkers(newRegistry, 0)
+	return func(addr string, workers int) (func() error, error) {
+		return spawn("tcp", addr, workers)
 	}
 }

@@ -1,0 +1,145 @@
+package risk
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/premia"
+	"riskbench/internal/telemetry"
+)
+
+// TestCompatMatrix is the rolling-upgrade acceptance test: every pairing
+// of adjacent protocol versions (old worker ↔ new master and new worker
+// ↔ old master), over both real transports, must price bit-identically
+// to the in-process baseline. Optional wire features degrade silently:
+// span payloads ship only when both ends negotiated the capability, and
+// the hasdelta result marker survives exactly when the worker believes
+// its master understands it.
+func TestCompatMatrix(t *testing.T) {
+	probs := []*premia.Problem{callProblem(90), callProblem(100), callProblem(110), mcProblem(7)}
+	local := Engine{Workers: 2, BatchSize: 2}
+	want, err := local.PriceBatch(context.Background(), probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want[0].Result.HasDelta {
+		t.Fatal("baseline CF price should carry a delta; the hasdelta assertions below assume it")
+	}
+
+	for _, transport := range []string{"tcp", "unix"} {
+		for _, masterProto := range []int{mpi.ProtoV1, mpi.ProtoV2} {
+			for _, workerProto := range []int{mpi.ProtoV1, mpi.ProtoV2} {
+				name := fmt.Sprintf("%s/master_v%d/worker_v%d", transport, masterProto, workerProto)
+				t.Run(name, func(t *testing.T) {
+					reg := telemetry.New()
+					e := Engine{
+						Workers:   2,
+						BatchSize: 2,
+						Telemetry: reg,
+						Backend: &NetBackend{
+							Transport: transport,
+							Proto:     masterProto,
+							Spawn:     GoNetWorkers(func(int) *telemetry.Registry { return telemetry.New() }, workerProto),
+						},
+					}
+					root := reg.StartTrace("compat.request")
+					ctx := telemetry.ContextWithTrace(context.Background(), root.Context())
+					out, err := e.PriceBatch(ctx, probs)
+					root.End()
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					// Prices must be bit-identical across every pairing:
+					// the protocol downgrade may strip telemetry, never
+					// numbers.
+					for i := range probs {
+						if out[i].Err != nil {
+							t.Fatalf("problem %d: %v", i, out[i].Err)
+						}
+						if math.Float64bits(out[i].Result.Price) != math.Float64bits(want[i].Result.Price) {
+							t.Errorf("problem %d: price %v over %s, local %v",
+								i, out[i].Result.Price, transport, want[i].Result.Price)
+						}
+						if math.Float64bits(out[i].Result.PriceCI) != math.Float64bits(want[i].Result.PriceCI) {
+							t.Errorf("problem %d: CI %v over %s, local %v",
+								i, out[i].Result.PriceCI, transport, want[i].Result.PriceCI)
+						}
+					}
+
+					// Span payloads cross the wire only when master and
+					// worker both speak a protocol whose negotiated set
+					// includes the spans capability: same-version pairs do
+					// (v1 by the implicit legacy contract, v2 by explicit
+					// handshake), mixed pairs silently unship them.
+					shipped := 0
+					for _, tr := range reg.Traces() {
+						for _, s := range tr.Spans {
+							if s.Name == "farm.compute" {
+								shipped++
+							}
+						}
+					}
+					if masterProto == workerProto {
+						if shipped != len(probs) {
+							t.Errorf("%d worker spans shipped, want %d", shipped, len(probs))
+						}
+					} else if shipped != 0 {
+						t.Errorf("%d worker spans shipped across a version boundary, want 0", shipped)
+					}
+
+					// The hasdelta marker is stripped only when a v2 worker
+					// cannot confirm its master understands it (a v1 master
+					// never negotiated the capability).
+					wantDelta := !(masterProto == mpi.ProtoV1 && workerProto == mpi.ProtoV2)
+					if got := out[0].Result.HasDelta; got != wantDelta {
+						t.Errorf("HasDelta = %v, want %v for master v%d / worker v%d",
+							got, wantDelta, masterProto, workerProto)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCompatNetBackendDefaults checks the zero-config path: a NetBackend
+// with no transport or protocol pinned speaks the latest protocol over
+// TCP and keeps the full feature set.
+func TestCompatNetBackendDefaults(t *testing.T) {
+	reg := telemetry.New()
+	e := Engine{
+		Workers:   2,
+		Telemetry: reg,
+		Backend:   &NetBackend{Spawn: GoNetWorkers(func(int) *telemetry.Registry { return telemetry.New() }, 0)},
+	}
+	probs := []*premia.Problem{callProblem(95), callProblem(105)}
+	root := reg.StartTrace("compat.request")
+	ctx := telemetry.ContextWithTrace(context.Background(), root.Context())
+	out, err := e.PriceBatch(ctx, probs)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("problem %d: %v", i, o.Err)
+		}
+		if !o.Result.HasDelta {
+			t.Errorf("problem %d lost its hasdelta marker on the default path", i)
+		}
+	}
+	shipped := 0
+	for _, tr := range reg.Traces() {
+		for _, s := range tr.Spans {
+			if s.Name == "farm.compute" {
+				shipped++
+			}
+		}
+	}
+	if shipped != len(probs) {
+		t.Errorf("%d worker spans shipped, want %d", shipped, len(probs))
+	}
+}

@@ -40,7 +40,8 @@ type Engine struct {
 	Cache PriceCache
 	// Backend selects where the farm's workers live: nil (the default)
 	// means LocalBackend, an in-process goroutine world per round; a
-	// TCPBackend farms over real TCP connections. Distributed traces
+	// NetBackend farms over a framed mpi transport (tcp, unix, inproc)
+	// with per-connection protocol negotiation. Distributed traces
 	// thread through either one.
 	Backend FarmBackend
 }

@@ -11,17 +11,33 @@ import (
 )
 
 // BenchmarkServeBatching measures request throughput of an in-process
-// server at micro-batch sizes 1, 16 and 64: the serving-layer analogue
-// of the farm's BatchSize sweep. Every request is a distinct cheap
-// closed-form problem, so the cache never hits and each request costs
-// one real pricing — what varies is how many ride per farm flush.
+// server at micro-batch sizes 1, 16 and 64 — the serving-layer analogue
+// of the farm's BatchSize sweep — and, at the recommended batch-16
+// setting, across the farm worker transports (local goroutine world vs
+// the framed hub over tcp, unix and inproc). Every request is a distinct
+// cheap closed-form problem, so the cache never hits and each request
+// costs one real pricing — what varies is how many ride per farm flush
+// and which wire carries them. On one host the unix transport should
+// beat tcp: same framed path, no TCP/IP stack.
 //
 //	go test -bench BenchmarkServeBatching ./internal/serve
 func BenchmarkServeBatching(b *testing.B) {
-	for _, size := range []int{1, 16, 64} {
-		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+	cases := []struct {
+		batch     int
+		transport string
+	}{
+		{1, "local"}, {16, "local"}, {64, "local"},
+		{16, "tcp"}, {16, "unix"}, {16, "inproc"},
+	}
+	for _, tc := range cases {
+		size := tc.batch
+		b.Run(fmt.Sprintf("batch=%d/transport=%s", size, tc.transport), func(b *testing.B) {
+			eng := &risk.Engine{Workers: 4, BatchSize: size}
+			if tc.transport != "local" {
+				eng.Backend = &risk.NetBackend{Transport: tc.transport, Spawn: risk.GoNetWorkers(nil, 0)}
+			}
 			s := New(Config{
-				Engine:   &risk.Engine{Workers: 4, BatchSize: size},
+				Engine:   eng,
 				MaxBatch: size,
 				MaxDelay: 200 * time.Microsecond,
 				// Distinct strikes → no cache reuse; keep the map small.

@@ -158,7 +158,7 @@ func TestAdmissionControlBurst(t *testing.T) {
 
 	// The burst: everything beyond the limit is shed with 429.
 	for i := 0; i < 8; i++ {
-		w := postJSON(s, "/price", cfBody(float64(200 + i)))
+		w := postJSON(s, "/price", cfBody(float64(200+i)))
 		if w.Code != http.StatusTooManyRequests {
 			t.Fatalf("burst request %d: status %d, want 429", i, w.Code)
 		}

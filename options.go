@@ -83,6 +83,7 @@ type config struct {
 	cacheSize     int
 	hasCache      bool
 	maxInflight   int
+	transport     string
 }
 
 // Option configures RunTableWith and NewEngine. Options not meaningful
@@ -142,6 +143,25 @@ func WithCache(entries int) Option {
 	return func(c *config) { c.cacheSize = entries; c.hasCache = true }
 }
 
+// WithTransport selects where an engine's (or pricing server's) farm
+// workers live and how frames reach them:
+//
+//   - "local" or "" (the default): an in-process goroutine world per
+//     round — mailboxes, no framing, the fastest same-process shape;
+//   - "tcp", "unix", "inproc", or any transport registered with
+//     mpi.RegisterTransport: a framed hub world on that transport, with
+//     in-process goroutine workers dialing through the real wire — the
+//     single-host deployment shape ("unix" skips the TCP/IP stack for
+//     same-host pools; "tcp" is what cross-host fleets use).
+//
+// Framed transports run the versioned wire handshake per connection,
+// so mixed-version fleets negotiate down to their common protocol
+// subset during rolling upgrades. External worker pools (separate
+// processes or hosts) configure risk.NetBackend directly instead.
+func WithTransport(name string) Option {
+	return func(c *config) { c.transport = name }
+}
+
 // WithMaxInflight bounds how many requests a pricing server admits
 // concurrently; beyond the bound requests are shed with HTTP 429 +
 // Retry-After instead of queueing without limit. Engines ignore it.
@@ -174,9 +194,24 @@ func NewEngine(opts ...Option) *RiskEngine {
 	for _, o := range opts {
 		o(&c)
 	}
-	e := &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, KernelThreads: c.kernelThreads, Telemetry: c.telemetry}
+	e := c.engine()
 	if c.hasCache {
 		e.Cache = serve.NewCache(c.cacheSize, c.telemetry)
+	}
+	return e
+}
+
+// engine builds the risk engine the options describe, including the
+// farm backend the transport selects.
+func (c config) engine() *risk.Engine {
+	e := &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, KernelThreads: c.kernelThreads, Telemetry: c.telemetry}
+	if c.transport != "" && c.transport != "local" {
+		// Goroutine workers over the real wire, each with its own
+		// registry so spans travel by frame, not by shared memory.
+		e.Backend = &risk.NetBackend{
+			Transport: c.transport,
+			Spawn:     risk.GoNetWorkers(func(int) *telemetry.Registry { return telemetry.New() }, 0),
+		}
 	}
 	return e
 }
@@ -198,7 +233,8 @@ type PricingServer = serve.Server
 // NewPricingServer builds and starts a pricing service over an engine
 // configured by the options: worker count, farm batch size (also the
 // micro-batcher's flush size), kernel threads, cache capacity
-// (WithCache), admission bound (WithMaxInflight) and telemetry sink.
+// (WithCache), admission bound (WithMaxInflight), worker transport
+// (WithTransport) and telemetry sink.
 // Serve its Handler with any http.Server; see cmd/riskserver for the
 // deployable wrapper.
 func NewPricingServer(opts ...Option) *PricingServer {
@@ -206,8 +242,7 @@ func NewPricingServer(opts ...Option) *PricingServer {
 	for _, o := range opts {
 		o(&c)
 	}
-	eng := &risk.Engine{Workers: c.workers, BatchSize: c.batchSize, KernelThreads: c.kernelThreads, Telemetry: c.telemetry}
-	cfg := serve.Config{Engine: eng, MaxBatch: c.batchSize, MaxInflight: c.maxInflight, Telemetry: c.telemetry}
+	cfg := serve.Config{Engine: c.engine(), MaxBatch: c.batchSize, MaxInflight: c.maxInflight, Telemetry: c.telemetry}
 	if c.hasCache {
 		cfg.CacheSize = c.cacheSize
 		if cfg.CacheSize < 0 {
