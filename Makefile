@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench smoke compat
+.PHONY: build test vet lint race check bench benchguard smoke compat wireshape
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs riskvet, the project's own static analysis suite
+# (internal/lint): detrand, maporder, wallclock, ctxflow, wireshape and
+# metricnames machine-check the determinism, clock, context and
+# wire-format invariants. Exceptions live in the source as checked
+# //lint:allow directives; a violation is a positioned diagnostic and a
+# non-zero exit.
+lint:
+	$(GO) run ./cmd/riskvet
+
+# wireshape regenerates the golden wire-struct shape hashes after a
+# deliberate protocol change. It refuses to bless a shape change unless
+# the protocol version constant was bumped first.
+wireshape:
+	$(GO) run ./cmd/riskvet -write-wireshape
+
 # race covers the packages with real concurrency, including the
 # telemetry span-reassembly and trace-table tests, the farm's
-# cross-process span shipping, and the serve-over-TCP trace integration
-# test.
+# cross-process span shipping, the serve-over-TCP trace integration
+# test, and the simulated scheduler (simnet) plus the portfolio
+# calibrator that drives it.
 race:
-	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia ./internal/risk ./internal/serve
+	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia ./internal/risk ./internal/serve ./internal/simnet ./internal/portfolio
 
-check: build vet test race
+check: build vet lint test race
 
 # compat runs the wire-protocol version matrix: every pairing of v1/v2
 # masters and workers over the tcp and unix transports must negotiate
@@ -40,6 +56,13 @@ compat:
 # /metrics, /metrics.json, /debug/traces and /debug/pprof all respond.
 smoke:
 	sh scripts/smoke.sh
+
+# benchguard re-measures the allocation-critical benchmarks with
+# -benchmem and fails if bytes/op or allocs/op regress past the budgets
+# recorded in BENCH_alloc.json (the wire codec must stay at 0 allocs/op;
+# the hub round trip at its two mailbox retain copies).
+benchguard:
+	sh scripts/bench_guard.sh
 
 # bench is a single-iteration smoke pass over the sweep and kernel
 # benchmarks; drop -benchtime to measure (the kernel speedup comparison

@@ -3,7 +3,6 @@ package farm
 import (
 	"fmt"
 	"os"
-	"time"
 
 	"riskbench/internal/nsp"
 	"riskbench/internal/premia"
@@ -40,9 +39,11 @@ func (LiveLoader) Load(t Task, s Strategy) ([]byte, error) {
 type LiveExecutor struct{}
 
 // Execute implements Executor: unserialize → rebuild the problem →
-// compute → result hash. The hash additionally carries the measured
-// compute wall time under "seconds", so masters can attribute timing to
-// task groups (the risk engine's per-scenario report reads it).
+// compute → result hash. The executor does not read a clock; RunWorker
+// measures the call on the registry clock and stamps the elapsed
+// compute time into the hash under "seconds", so masters can attribute
+// timing to task groups (the risk engine's per-scenario report reads
+// it) and simulated runs attribute virtual seconds.
 func (LiveExecutor) Execute(name string, payload []byte, cost float64, size int) (nsp.Object, error) {
 	obj, err := nsp.SLoadBytes(payload).Unserialize()
 	if err != nil {
@@ -52,13 +53,11 @@ func (LiveExecutor) Execute(name string, payload []byte, cost float64, size int)
 	if err != nil {
 		return nil, fmt.Errorf("farm: rebuild problem %q: %w", name, err)
 	}
-	start := time.Now()
 	res, err := p.Compute()
 	if err != nil {
 		return nil, fmt.Errorf("farm: compute %q: %w", name, err)
 	}
 	h := resultHash(name, res.Price, res.PriceCI, res.Delta, res.Work)
-	h.Set("seconds", nsp.Scalar(time.Since(start).Seconds()))
 	// hasdelta distinguishes "delta is 0" from "method computes no delta",
 	// so consumers rebuilding a premia.Result (the serving layer's cache)
 	// keep full fidelity.

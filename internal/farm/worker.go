@@ -39,6 +39,14 @@ type Store interface {
 func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 	master := opts.MasterRank
 	reg := opts.Telemetry
+	// clock times compute calls for the "seconds" result-hash field. It
+	// is the registry clock when there is one (virtual under simnet) and
+	// the sanctioned wall fallback otherwise, never raw time.Now — the
+	// riskvet wallclock rule.
+	clock := telemetry.Wall
+	if reg != nil {
+		clock = reg.Now
+	}
 	for {
 		obj, _, err := mpi.RecvObj(c, master, TagTask)
 		if err != nil {
@@ -114,9 +122,10 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 			} else {
 				span = reg.StartSpan("farm.compute")
 			}
-			start := reg.Now()
+			start := clock()
 			res, err := exec.Execute(name, payloads[i], costs[i], int(sizes[i]))
-			reg.Observe("farm.compute_seconds", reg.Now()-start)
+			elapsed := clock() - start
+			reg.Observe("farm.compute_seconds", elapsed)
 			span.End()
 			if ship {
 				shipped = append(shipped, span.Record())
@@ -127,8 +136,16 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 				// whether to retry).
 				res = errorResultHash(name, err.Error())
 			}
-			if h, ok := res.(*nsp.Hash); ok && !caps.Has(mpi.CapHasDelta) {
-				h.Del("hasdelta")
+			if h, ok := res.(*nsp.Hash); ok {
+				// Stamp the measured compute time unless the executor
+				// supplied its own (simulated executors charge virtual
+				// cost instead of being timed).
+				if _, has := h.Get("seconds"); !has {
+					h.Set("seconds", nsp.Scalar(elapsed))
+				}
+				if !caps.Has(mpi.CapHasDelta) {
+					h.Del("hasdelta")
+				}
 			}
 			out.Add(res)
 		}

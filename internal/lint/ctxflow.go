@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces context plumbing on the concurrency-bearing API
+// surface. Cancellation in this system is cooperative end to end — a
+// served request's deadline has to reach the farm master's select
+// loops, and a drained server must be able to abandon a batch mid
+// flight — which only works if every exported function that spawns
+// goroutines or blocks on channel traffic accepts a context.Context
+// and actually threads it onward. A blocking entry point without a
+// context is a leak in the cancellation graph: callers above it cannot
+// enforce deadlines on anything below it.
+//
+// The rule: in farm, risk and serve, an exported function or method
+// whose body contains a go statement, select, channel send/receive, or
+// sync.WaitGroup.Wait must either take a context.Context parameter
+// (and use it) or carry one in a field of its receiver. Deliberate
+// exceptions — wire-driven shutdown, fire-and-forget spawn helpers —
+// are annotated with //lint:allow ctxflow.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported blocking/spawning functions accept and propagate context.Context",
+	Match: scope(
+		"internal/farm",
+		"internal/risk",
+		"internal/serve",
+	),
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Package, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			kind := blockingKind(fn.Body)
+			if kind == "" {
+				continue
+			}
+			ctxParam := contextParam(pass, fn)
+			if ctxParam == nil {
+				if receiverCarriesContext(pass, fn) {
+					continue
+				}
+				pass.Reportf(fn.Name.Pos(),
+					"exported %s %s but takes no context.Context; cancellation cannot reach it", fn.Name.Name, kind)
+				continue
+			}
+			if ctxParam.Name == "_" || !identUsed(fn.Body, ctxParam.Name) {
+				pass.Reportf(fn.Name.Pos(),
+					"%s accepts a context.Context but never propagates it", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// blockingKind classifies why a body is concurrency-bearing, or "".
+func blockingKind(body *ast.BlockStmt) string {
+	kind := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			kind = "spawns goroutines"
+		case *ast.SelectStmt:
+			kind = "blocks on select"
+		case *ast.SendStmt:
+			kind = "blocks on channel sends"
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				kind = "blocks on channel receives"
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				kind = "blocks on Wait"
+			}
+		}
+		return kind == ""
+	})
+	return kind
+}
+
+// contextParam returns the identifier of the first context.Context
+// parameter, or nil. A parameter list like (ctx context.Context) has
+// one name per field; unnamed parameters return a synthetic "_".
+func contextParam(pass *Pass, fn *ast.FuncDecl) *ast.Ident {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		t := exprType(pass.Info, field.Type)
+		if t == nil || !isNamed(t, "context", "Context") {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return ast.NewIdent("_")
+		}
+		return field.Names[0]
+	}
+	return nil
+}
+
+// receiverCarriesContext reports whether the method's receiver struct
+// has a context.Context field — the pattern used by long-lived objects
+// (a server, a batcher) that bind their lifecycle context at
+// construction.
+func receiverCarriesContext(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := exprType(pass.Info, fn.Recv.List[0].Type)
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isNamed(st.Field(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+func identUsed(body *ast.BlockStmt, name string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Detrand bans nondeterministic randomness in pricing and kernel code.
+// The whole benchmark contract — the same problem prices bit-identically
+// at any thread count, on any host — holds because every random draw
+// flows from the portfolio seed through mathutil's split PCG64 streams
+// (RNG.Split) and leapfrogged Halton sequences. A single global
+// math/rand call, or a freshly minted time-derived seed, silently breaks
+// reproducibility with no failing test to show for it: prices stay
+// plausible, they just stop being verifiable.
+//
+// The rule: pricing/kernel packages must not import math/rand,
+// math/rand/v2 or crypto/rand at all (tests are not loaded and may use
+// them freely), and must not seed streams from the clock.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "pricing/kernel code must use mathutil split streams, not math/rand",
+	Match: scope(
+		"internal/premia",
+		"internal/mathutil",
+		"internal/farm",
+		"internal/risk",
+		"internal/portfolio",
+		"internal/simnet",
+	),
+	Run: runDetrand,
+}
+
+// detrandBannedImports are the stdlib randomness sources whose global
+// state (or per-call seeding conventions) cannot reproduce across
+// processes and architectures.
+var detrandBannedImports = map[string]string{
+	"math/rand":    "global stream, process-dependent seeding",
+	"math/rand/v2": "global stream, process-dependent seeding",
+	"crypto/rand":  "entropy is unreproducible by construction",
+}
+
+func runDetrand(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Package, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := detrandBannedImports[path]; ok {
+				pass.Reportf(imp.Pos(),
+					"import of %s in pricing/kernel code (%s); draw from mathutil split streams instead", path, why)
+			}
+		}
+		// A time.Now() (or UnixNano chain) feeding a callee with Seed,
+		// RNG or Source in its name is ad-hoc seeding: it defeats the
+		// portfolio seed even when the stream type is deterministic.
+		var callStack []*ast.CallExpr
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := pkgFuncCall(pass.Info, call, "time", "Now"); ok {
+				for _, outer := range callStack {
+					if seedish(calleeName(outer)) {
+						pass.Reportf(call.Pos(),
+							"clock-derived seed; thread the portfolio seed through Params instead")
+						break
+					}
+				}
+			}
+			callStack = append(callStack, call)
+			for _, arg := range call.Args {
+				ast.Inspect(arg, walk)
+			}
+			ast.Inspect(call.Fun, walk)
+			callStack = callStack[:len(callStack)-1]
+			return false
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func seedish(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "seed") || strings.Contains(lower, "rng") || strings.Contains(lower, "source")
+}

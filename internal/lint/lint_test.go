@@ -1,0 +1,157 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"riskbench/internal/lint"
+)
+
+// golden runs one analyzer over a testdata package and matches its
+// diagnostics against the package's `// want `regexp`` comments: every
+// want must be satisfied by a diagnostic on its line, and every
+// surviving diagnostic must be expected. //lint:allow directives are
+// applied first, so an exemption that fails to suppress shows up as an
+// unexpected diagnostic.
+func golden(t *testing.T, loader *lint.Loader, analyzer *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir), "fixture/"+dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	unscoped := *analyzer
+	unscoped.Match = nil // fixtures live outside the production package scope
+	diags := lint.Run(pkg, []*lint.Analyzer{&unscoped})
+
+	wants := map[string][]*regexp.Regexp{} // "file:line" -> patterns
+	matched := map[string]int{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want `")
+				if !ok {
+					continue
+				}
+				text, ok = strings.CutSuffix(text, "`")
+				if !ok {
+					t.Fatalf("%s: unterminated want comment %q", pkg.Fset.Position(c.Pos()), c.Text)
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey(pos.Filename, pos.Line)
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	for _, d := range diags {
+		key := lineKey(d.Pos.Filename, d.Pos.Line)
+		ok := false
+		for _, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				matched[key]++
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		if matched[key] < len(res) {
+			t.Errorf("%s: expected %d diagnostic(s), matched %d", key, len(res), matched[key])
+		}
+	}
+}
+
+func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+func TestAnalyzersGolden(t *testing.T) {
+	loader, err := lint.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		analyzer *lint.Analyzer
+		dirs     []string
+	}{
+		{lint.Detrand, []string{"detrand"}},
+		{lint.Maporder, []string{"maporder"}},
+		{lint.Wallclock, []string{"wallclock"}},
+		{lint.Ctxflow, []string{"ctxflow"}},
+		{lint.Wireshape, []string{"wireshape", "wireshape_stale"}},
+		{lint.Metricnames, []string{"metricnames"}},
+	}
+	for _, c := range cases {
+		for _, dir := range c.dirs {
+			t.Run(c.analyzer.Name+"/"+dir, func(t *testing.T) {
+				golden(t, loader, c.analyzer, dir)
+			})
+		}
+	}
+}
+
+// TestRepoClean is the self-hosting gate: the production tree must
+// lint clean, including its //lint:allow annotations being live. This
+// is what makes "deleting a violation fix breaks the build" true in CI
+// even before make lint runs.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	loader, err := lint.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAll(loader, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDirectiveHygiene proves the checked-exemption rules: a stale
+// allow, an unknown analyzer name and a reasonless directive are all
+// diagnostics themselves.
+func TestDirectiveHygiene(t *testing.T) {
+	loader, err := lint.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "directives"), "fixture/directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkg, lint.All())
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	for _, want := range []string{
+		"suppresses nothing here",
+		"unknown analyzer",
+		"needs a reason",
+	} {
+		found := false
+		for _, msg := range got {
+			if strings.Contains(msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q in %v", want, got)
+		}
+	}
+	if len(diags) != 3 {
+		t.Errorf("want exactly 3 directive diagnostics, got %d: %v", len(diags), got)
+	}
+}

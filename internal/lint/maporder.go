@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags range-over-map loops whose bodies are sensitive to
+// iteration order. Go randomizes map order per run on purpose; float
+// addition is not associative; and anything appended to a slice that
+// later crosses the wire or feeds a report is ordered by construction.
+// So a map-range body that accumulates floats into an outer variable,
+// concatenates strings, or appends value-derived elements to an outer
+// slice produces results that differ run to run — the exact
+// "bit-identical at any thread count" killer the multicore kernel's
+// shard-order merges exist to prevent, reintroduced one innocent loop
+// at a time.
+//
+// The rule distinguishes the idioms:
+//
+//   - collecting only keys (`for k := range m { keys = append(keys, k) }`)
+//     is the canonical fix — you sort afterwards — and is allowed;
+//   - writes indexed by the key (`out[k] = f(v)`, `acc[k] += v`) are
+//     per-key independent and allowed;
+//   - integer counters are exactly commutative and allowed;
+//   - float/complex/string reductions into outer state, and appends
+//     whose elements depend on the ranged value (or any loop-body
+//     local), are flagged: iterate sorted keys instead.
+var Maporder = &Analyzer{
+	Name:  "maporder",
+	Doc:   "no order-sensitive reduction or append may range over a map",
+	Match: func(string) bool { return true },
+	Run:   runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Package, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := exprType(pass.Info, rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRange(pass, rs)
+			return true
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	valObj := rangeVarObj(pass, rs.Value)
+	body := rs.Body
+
+	// bodyLocal: declared inside the loop body (per-iteration state,
+	// reset each time around — accumulating into it is fine).
+	bodyLocal := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+	}
+	// tainted: the expression's value depends on which element this
+	// iteration drew — it mentions the ranged value or a loop-body
+	// local (keys alone are fine: the caller sorts them).
+	tainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return !found
+			}
+			obj := pass.Info.Uses[id]
+			if obj != nil && ((valObj != nil && obj == valObj) || bodyLocal(obj)) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	mentionsKey := func(e ast.Expr) bool {
+		if keyObj == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == keyObj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Do not descend into nested map ranges; they get their own check.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs {
+			if t := exprType(pass.Info, inner.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				checkReduction(pass, rs, lhs, bodyLocal, mentionsKey)
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				checkAppend(pass, rs, as.Lhs[i], rhs, bodyLocal, tainted)
+			}
+		}
+		return true
+	})
+}
+
+// checkReduction flags `outer op= ...` for order-sensitive element
+// types, unless the target is indexed by the range key.
+func checkReduction(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr,
+	bodyLocal func(types.Object) bool, mentionsKey func(ast.Expr) bool) {
+	// acc[k] += v: per-key slot, order-independent.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && mentionsKey(ix.Index) {
+		return
+	}
+	t := exprType(pass.Info, lhs)
+	if t == nil || !orderSensitiveType(t) {
+		return
+	}
+	if root := rootObj(pass, lhs); root == nil || bodyLocal(root) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"%s reduction inside range over map depends on iteration order; iterate sorted keys (bit-reproducibility)", t.Underlying())
+}
+
+// checkAppend flags `outer = append(outer, taintedElem)`.
+func checkAppend(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr, rhs ast.Expr,
+	bodyLocal func(types.Object) bool, tainted func(ast.Expr) bool) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return
+	}
+	if obj, ok := pass.Info.Uses[fun]; ok {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return
+		}
+	}
+	root := rootObj(pass, lhs)
+	if root == nil || bodyLocal(root) {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if tainted(arg) {
+			pass.Reportf(lhs.Pos(),
+				"append of value-dependent elements inside range over map is ordered by iteration; iterate sorted keys (wire/report determinism)")
+			return
+		}
+	}
+}
+
+// orderSensitiveType: accumulation in these types does not commute
+// exactly, so iteration order leaks into the result bits.
+func orderSensitiveType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.Complex64, types.Complex128,
+		types.String, types.UntypedFloat, types.UntypedComplex, types.UntypedString:
+		return true
+	}
+	return false
+}
+
+// rootObj finds the object at the root of an lvalue chain
+// (x, x.f, x[i].f → x).
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rangeVarObj resolves the object of a range key/value identifier.
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}

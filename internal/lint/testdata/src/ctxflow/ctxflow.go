@@ -1,0 +1,61 @@
+// Package ctxtest seeds the context-plumbing shapes the ctxflow
+// analyzer checks on exported concurrency-bearing functions.
+package ctxtest
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire spawns a goroutine with no way for a caller to cancel it.
+func Fire(work func()) { // want `spawns goroutines but takes no context`
+	go work()
+}
+
+// Drain blocks on a channel receive without a deadline path.
+func Drain(ch chan int) int { // want `blocks on channel receives`
+	return <-ch
+}
+
+// Forgetful accepts a context and then ignores it.
+func Forgetful(ctx context.Context, ch chan int) int { // want `never propagates it`
+	return <-ch
+}
+
+// Run threads its context into the select — the required shape.
+func Run(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// worker is unexported; internal helpers may rely on their exported
+// callers' plumbing.
+func worker(ch chan int) int {
+	return <-ch
+}
+
+// Server carries its lifecycle context in a field, the long-lived
+// object pattern.
+type Server struct {
+	ctx context.Context
+	wg  sync.WaitGroup
+}
+
+// Stop may block on Wait; cancellation reaches it through the
+// receiver's bound context.
+func (s *Server) Stop() {
+	s.wg.Wait()
+}
+
+// Detach is a deliberate fire-and-forget exception, annotated.
+//
+//lint:allow ctxflow fixture: fire-and-forget by design, joined elsewhere
+func Detach(work func()) {
+	go work()
+}
+
+var _ = worker

@@ -1,0 +1,28 @@
+// Package detrandtest seeds one violation per detrand sub-rule and one
+// checked exemption, for the golden-file harness.
+package detrandtest
+
+import (
+	"math/rand" // want `import of math/rand`
+	"time"
+
+	//lint:allow detrand fixture: deliberate, documented exemption
+	crand "crypto/rand"
+)
+
+// globalDraw uses the global math/rand stream (the import itself is the
+// diagnostic; prices drawn this way cannot reproduce across processes).
+func globalDraw() float64 { return rand.Float64() }
+
+// entropyDraw is covered by the allow directive on the import above.
+func entropyDraw() byte {
+	var b [1]byte
+	crand.Read(b[:])
+	return b[0]
+}
+
+// clockSeed seeds a source from the wall clock, defeating the
+// portfolio seed even though the source itself is deterministic.
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `clock-derived seed`
+}

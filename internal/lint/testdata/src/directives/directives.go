@@ -1,0 +1,18 @@
+// Package dirtest seeds the three directive-hygiene failures: a stale
+// exemption, an unknown analyzer name, and a missing reason. Each is a
+// diagnostic in its own right — that is what keeps //lint:allow from
+// becoming a silent skip list.
+package dirtest
+
+// stale: nothing on the next line violates maporder.
+//
+//lint:allow maporder this suppresses nothing
+var x = 1
+
+//lint:allow nosuchrule the analyzer name is wrong
+var y = 2
+
+//lint:allow metricnames
+var z = 3
+
+var _ = x + y + z

@@ -1,0 +1,107 @@
+// Package maportest seeds the order-sensitive map-range shapes the
+// maporder analyzer must flag, next to the canonical idioms it must
+// accept.
+package maportest
+
+import "sort"
+
+// floatReduction accumulates floats in map order: non-associative
+// addition makes the result bits depend on the iteration shuffle.
+func floatReduction(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float64 reduction inside range over map`
+	}
+	return sum
+}
+
+// stringReduction concatenates in map order — nondeterministic even
+// over keys alone.
+func stringReduction(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string reduction inside range over map`
+	}
+	return s
+}
+
+// valueAppend builds a wire-bound slice whose element order is the map
+// shuffle.
+func valueAppend(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want `append of value-dependent elements`
+	}
+	return out
+}
+
+// derivedAppend launders the value through a local before appending;
+// still ordered by iteration.
+func derivedAppend(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		scaled := v * 2
+		out = append(out, scaled) // want `append of value-dependent elements`
+	}
+	return out
+}
+
+// sortedKeys is the canonical fix: collecting keys is order-safe
+// because the caller sorts before using them.
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// intCounter is exactly commutative: integer adds do not care about
+// order.
+func intCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perKeySlot writes through the range key: each key's slot is
+// independent, so order cannot leak.
+func perKeySlot(m map[string]float64, acc map[string]float64) {
+	for k, v := range m {
+		acc[k] += v
+	}
+}
+
+// perIterationLocal resets its accumulator every iteration; nothing
+// escapes in map order.
+func perIterationLocal(m map[string][]float64, out map[string]float64) {
+	for k, vs := range m {
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		out[k] = total
+	}
+}
+
+// allowedReduction documents a deliberate exception: the result is
+// order-insensitive by construction (max of an unordered set), which
+// the analyzer's reduction rule cannot see.
+func allowedReduction(m map[string]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		if v == 0 {
+			continue
+		}
+		//lint:allow maporder fixture: order-insensitive by construction
+		prod *= v
+	}
+	return prod
+}

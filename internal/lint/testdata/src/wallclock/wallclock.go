@@ -1,0 +1,38 @@
+// Package walltest seeds raw wall-clock reads for the wallclock
+// analyzer, next to the forms it must accept (durations, sleeps, and
+// annotated deliberate wall reads).
+package walltest
+
+import (
+	"time"
+
+	"riskbench/internal/telemetry"
+)
+
+// spanTimestamp stamps an event off the raw wall clock, so under a
+// virtual clock the reading is in the wrong time domain.
+func spanTimestamp() float64 {
+	return float64(time.Now().UnixNano()) // want `raw time.Now`
+}
+
+// elapsed measures with time.Since, same problem.
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `raw time.Since`
+}
+
+// virtualized reads the registry clock — the sanctioned path.
+func virtualized(reg *telemetry.Registry) float64 {
+	return reg.Now()
+}
+
+// sleeping takes a duration, not a timestamp; scheduling is fine.
+func sleeping() {
+	time.Sleep(time.Millisecond)
+}
+
+// ioDeadline is the documented escape: kernel-enforced I/O deadlines
+// are wall time by design.
+func ioDeadline(timeout time.Duration) time.Time {
+	//lint:allow wallclock fixture: I/O deadlines are kernel wall time
+	return time.Now().Add(timeout)
+}

@@ -1,0 +1,29 @@
+// Package wiretest seeds the wireshape cases: a pinned struct whose
+// recorded hash still matches, one that drifted without a version
+// bump, and one annotated deliberate drift.
+package wiretest
+
+// ProtoLatest mirrors the mpi protocol constant the lock records.
+const ProtoLatest = 2
+
+// Pinned matches its recorded golden hash.
+type Pinned struct {
+	Dest, Src, Tag int32
+	Len            uint32
+}
+
+// Drifted grew a field since its hash was recorded, with no version
+// bump — the silent wire break the analyzer exists to catch.
+type Drifted struct { // want `changed shape`
+	Version uint16
+	Caps    uint32
+	Extra   string
+}
+
+// AllowedDrift documents a deliberate mismatch (e.g. a struct mid
+// migration) with a checked exemption.
+//
+//lint:allow wireshape fixture: migration in flight, tracked elsewhere
+type AllowedDrift struct {
+	Window uint32
+}

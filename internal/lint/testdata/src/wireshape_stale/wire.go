@@ -1,0 +1,12 @@
+// Package stalewire seeds the stale-lock case: the protocol constant
+// was bumped but the lock still records the old version, so the lock
+// no longer proves anything about the current protocol.
+package stalewire
+
+// ProtoLatest was bumped to 3; the lock still says 2.
+const ProtoLatest = 3 // want `still records proto 2`
+
+// Frame's shape is unchanged; only the recorded proto is stale.
+type Frame struct {
+	Dest, Src, Tag int32
+}

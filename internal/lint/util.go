@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// scope builds a Match function accepting exactly the given module
+// packages (paths relative to the module root, e.g. "internal/farm").
+func scope(rel ...string) func(string) bool {
+	return func(importPath string) bool {
+		for _, r := range rel {
+			if strings.HasSuffix(importPath, "/"+r) || importPath == r {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// pkgFuncCall reports whether call invokes pkgPath.name (e.g.
+// "time".Now), resolving the package through the type info so import
+// aliases are handled.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or
+// nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (through pointers/aliases) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// exprType returns the static type of e, or nil.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isTestFile reports whether the file's basename ends in _test.go (the
+// loader skips these, but testdata harness files may reintroduce them).
+func isTestFile(pkg *Package, f *ast.File) bool {
+	name := pkg.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Wallclock bans raw wall-clock reads in the packages whose timing
+// must be virtualizable. The telemetry registry's clock (Registry.Now,
+// with telemetry.Wall and telemetry.Deadline as the two sanctioned
+// wall-time escapes) is the only time source in production code: that
+// is what lets simnet replay a 512-core cluster on one laptop with
+// durations that mean virtual seconds, and what keeps span trees from
+// mixing clock domains when worker records are shifted onto the
+// master's clock. A stray time.Now() in a span or a result hash is
+// invisible in tests on real hardware and wrong everywhere else.
+//
+// Tests are exempt (they are not loaded); deliberate wall reads — the
+// definition of the clock itself, entropy fallbacks, network I/O
+// deadlines — carry //lint:allow wallclock annotations.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "production code reads time only through the telemetry clock",
+	Match: scope(
+		"internal/telemetry",
+		"internal/farm",
+		"internal/mpi",
+		"internal/serve",
+		"internal/portfolio",
+	),
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Package, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFuncCall(pass.Info, call, "time", "Now", "Since", "Until"); ok {
+				pass.Reportf(call.Pos(),
+					"raw time.%s; read the telemetry clock (Registry.Now, telemetry.Wall, telemetry.Deadline) so timing stays virtualizable", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Wireshape pins the shape of wire-contract structs with golden
+// structural hashes. The frame layout, the hello handshake payload and
+// the span records shipped across the farm wire are hand-encoded —
+// there is no schema compiler to notice that a field was added,
+// removed or reordered. A silent shape change is the failure mode the
+// versioned protocol exists to prevent: an old worker decodes a new
+// master's bytes into garbage, prices stay plausible, and nothing
+// fails until production.
+//
+// Each package owning wire structs carries a wireshape.lock file
+// recording, for every pinned struct, a hash over its ordered field
+// names, types and tags, together with the protocol version at which
+// those shapes were frozen. The analyzer recomputes the hashes: a
+// mismatch — or a protocol constant that moved without the lock being
+// regenerated — is a diagnostic. `riskvet -write-wireshape` rewrites
+// lock files, and refuses to bless a shape change unless the protocol
+// version was bumped first.
+var Wireshape = &Analyzer{
+	Name:  "wireshape",
+	Doc:   "wire-contract struct shapes must not change without a proto version bump",
+	Match: func(string) bool { return true },
+	Run:   runWireshape,
+}
+
+// LockFileName is the per-package golden shape record.
+const LockFileName = "wireshape.lock"
+
+// WireLock is the on-disk format of a wireshape.lock file.
+type WireLock struct {
+	Comment    string            `json:"comment,omitempty"`
+	ProtoConst string            `json:"proto_const"` // "ProtoLatest" or "mpi.ProtoLatest"
+	Proto      int64             `json:"proto"`       // value of ProtoConst when shapes were frozen
+	Structs    map[string]string `json:"structs"`     // struct name (optionally pkgname-qualified) -> hash
+}
+
+// LoadLock reads dir's wireshape.lock, or returns (nil, nil) when the
+// package pins nothing.
+func LoadLock(dir string) (*WireLock, error) {
+	data, err := os.ReadFile(filepath.Join(dir, LockFileName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var lock WireLock
+	if err := json.Unmarshal(data, &lock); err != nil {
+		return nil, fmt.Errorf("lint: %s/%s: %w", dir, LockFileName, err)
+	}
+	return &lock, nil
+}
+
+func runWireshape(pass *Pass) {
+	lock, err := LoadLock(pass.Dir)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "%v", err)
+		return
+	}
+	if lock == nil {
+		return
+	}
+	protoVal, protoPos, err := resolveProtoConst(pass.Package, lock.ProtoConst)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "%s: %v", LockFileName, err)
+		return
+	}
+	changed := false
+	for _, name := range sortedKeys(lock.Structs) {
+		want := lock.Structs[name]
+		got, pos, err := StructHash(pass.Package, name)
+		if err != nil {
+			pass.Reportf(pass.Files[0].Pos(), "%s pins %q: %v", LockFileName, name, err)
+			continue
+		}
+		if got != want {
+			changed = true
+			pass.Reportf(pos,
+				"wire struct %s changed shape (hash %s, recorded %s at proto %d); bump %s and regenerate %s (riskvet -write-wireshape)",
+				name, got, want, lock.Proto, lock.ProtoConst, LockFileName)
+		}
+	}
+	if protoVal != lock.Proto && !changed {
+		pass.Reportf(protoPos,
+			"%s is now %d but %s still records proto %d; regenerate it (riskvet -write-wireshape)",
+			lock.ProtoConst, protoVal, LockFileName, lock.Proto)
+	}
+}
+
+// resolveProtoConst evaluates the integer constant the lock names,
+// either in the package itself or in one of its imports (qualified by
+// package name, e.g. "mpi.ProtoLatest").
+func resolveProtoConst(pkg *Package, name string) (int64, token.Pos, error) {
+	scope := pkg.Types.Scope()
+	constName := name
+	if pkgName, rest, ok := strings.Cut(name, "."); ok {
+		scope = nil
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Name() == pkgName {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return 0, token.NoPos, fmt.Errorf("proto_const %q: package %s not imported", name, pkgName)
+		}
+		constName = rest
+	}
+	obj := scope.Lookup(constName)
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return 0, token.NoPos, fmt.Errorf("proto_const %q is not a constant", name)
+	}
+	v, ok := constantInt64(c)
+	if !ok {
+		return 0, token.NoPos, fmt.Errorf("proto_const %q is not an integer constant", name)
+	}
+	return v, c.Pos(), nil
+}
+
+func constantInt64(c *types.Const) (int64, bool) {
+	val := c.Val()
+	if val == nil {
+		return 0, false
+	}
+	s := val.ExactString()
+	var v int64
+	_, err := fmt.Sscanf(s, "%d", &v)
+	return v, err == nil
+}
+
+// StructHash computes the structural fingerprint of a named struct:
+// sha256 over its ordered field names, fully qualified type strings
+// and tags. The name may be qualified by an imported package's name.
+func StructHash(pkg *Package, name string) (hash string, pos token.Pos, err error) {
+	scope := pkg.Types.Scope()
+	structName := name
+	if pkgName, rest, ok := strings.Cut(name, "."); ok {
+		scope = nil
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Name() == pkgName {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return "", token.NoPos, fmt.Errorf("package %s not imported", pkgName)
+		}
+		structName = rest
+	}
+	obj := scope.Lookup(structName)
+	if obj == nil {
+		return "", token.NoPos, fmt.Errorf("no such type")
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return "", token.NoPos, fmt.Errorf("%s is not a type", name)
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return "", token.NoPos, fmt.Errorf("%s is not a struct", name)
+	}
+	qual := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fmt.Fprintf(&b, "%s %s %q\n", f.Name(), types.TypeString(f.Type(), qual), st.Tag(i))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8]), obj.Pos(), nil
+}
+
+// RegenerateLock recomputes dir's lock against pkg. It enforces the
+// bump rule: if any pinned shape changed while the proto constant
+// still has the recorded value, regeneration is refused — bump the
+// protocol version first, that is the whole point.
+func RegenerateLock(pkg *Package) (changed bool, err error) {
+	lock, err := LoadLock(pkg.Dir)
+	if err != nil || lock == nil {
+		return false, err
+	}
+	protoVal, _, err := resolveProtoConst(pkg, lock.ProtoConst)
+	if err != nil {
+		return false, err
+	}
+	var drifted []string
+	next := map[string]string{}
+	for _, name := range sortedKeys(lock.Structs) {
+		h, _, err := StructHash(pkg, name)
+		if err != nil {
+			return false, fmt.Errorf("%s pins %q: %w", LockFileName, name, err)
+		}
+		next[name] = h
+		if old := lock.Structs[name]; old != "" && old != h {
+			drifted = append(drifted, name)
+		}
+	}
+	same := protoVal == lock.Proto
+	if len(drifted) > 0 && same {
+		return false, fmt.Errorf("wire structs %s changed shape but %s is still %d; bump the protocol version before regenerating",
+			strings.Join(drifted, ", "), lock.ProtoConst, protoVal)
+	}
+	if same && equalStringMaps(lock.Structs, next) {
+		return false, nil
+	}
+	lock.Proto = protoVal
+	lock.Structs = next
+	data, err := json.MarshalIndent(lock, "", "  ")
+	if err != nil {
+		return false, err
+	}
+	return true, os.WriteFile(filepath.Join(pkg.Dir, LockFileName), append(data, '\n'), 0o644)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalStringMaps(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"riskbench/internal/telemetry"
 )
 
 // wireMagic opens every handshake so stray connections are rejected
@@ -245,7 +247,7 @@ func (h *HubComm) handshake(c net.Conn, rank int) error {
 // nothing until it has work, so a bounded quiet period means v1. Peek
 // is used so a timeout consumes no bytes and the stream stays aligned.
 func (h *HubComm) classify(rank int, cn *conn, r *bufio.Reader, fc *frameCodec) error {
-	cn.c.SetReadDeadline(time.Now().Add(h.helloWait))
+	cn.c.SetReadDeadline(telemetry.Deadline(h.helloWait))
 	_, peekErr := r.Peek(1)
 	cn.c.SetReadDeadline(time.Time{})
 	if peekErr != nil {

@@ -2,6 +2,7 @@ package portfolio
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -21,13 +22,21 @@ func (pf *Portfolio) CalibrateCosts(shrink float64) error {
 	if shrink <= 0 || shrink > 1 {
 		return fmt.Errorf("portfolio: shrink must be in (0,1], got %v", shrink)
 	}
-	// Group items per class (name prefix before the dash).
+	// Group items per class (name prefix before the dash). Classes are
+	// measured in sorted order so calibration runs are reproducible
+	// run to run (cache warming aside), not map-order shuffled.
 	classIdx := map[string][]int{}
+	var classes []string
 	for i, it := range pf.Items {
 		class := strings.SplitN(it.Name, "-", 2)[0]
+		if _, ok := classIdx[class]; !ok {
+			classes = append(classes, class)
+		}
 		classIdx[class] = append(classIdx[class], i)
 	}
-	for class, idxs := range classIdx {
+	sort.Strings(classes)
+	for _, class := range classes {
+		idxs := classIdx[class]
 		rep := pf.Items[idxs[0]].Problem.Clone()
 		// Shrink the dominant effort axes; remember the combined factor.
 		factor := 1.0
@@ -45,10 +54,15 @@ func (pf *Portfolio) CalibrateCosts(shrink float64) error {
 				rep.Set(key, float64(int(nv)))
 			}
 		}
+		// Calibration's entire purpose is measuring this machine's real
+		// speed, so these are deliberate wall reads: a virtual clock
+		// would calibrate the simulator against itself.
+		//lint:allow wallclock calibration measures real hardware speed by design
 		start := time.Now()
 		if _, err := rep.Compute(); err != nil {
 			return fmt.Errorf("portfolio: calibrate class %s: %w", class, err)
 		}
+		//lint:allow wallclock calibration measures real hardware speed by design
 		measured := time.Since(start).Seconds() / factor
 		if measured <= 0 {
 			measured = 1e-6

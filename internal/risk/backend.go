@@ -140,6 +140,13 @@ func (b *NetBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Optio
 // supplies each worker's telemetry registry (a fresh registry per
 // worker proves spans travel by wire rather than by shared memory).
 // proto pins the workers' wire-protocol version; 0 speaks the latest.
+//
+// The spawned workers deliberately take no context: worker shutdown is
+// wire-driven — RunWorker returns on the master's stop message or when
+// the hub closes the connection — and the returned wait function is
+// the join point the backend already owns.
+//
+//lint:allow ctxflow worker shutdown is wire-driven (stop frames / hub close), not context-driven
 func GoNetWorkers(newRegistry func(worker int) *telemetry.Registry, proto int) func(transport, addr string, workers int) (func() error, error) {
 	return func(transport, addr string, workers int) (func() error, error) {
 		errs := make([]error, workers)

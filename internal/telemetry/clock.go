@@ -1,0 +1,40 @@
+package telemetry
+
+import "time"
+
+// This file is the single place production code touches the wall
+// clock. Everything else reads time through a Registry's clock
+// (Registry.Now), which simnet replaces with a virtual clock — that is
+// what lets a laptop replay a 512-core cluster with durations that
+// mean virtual seconds. The riskvet wallclock analyzer bans raw
+// time.Now/time.Since in the timing-bearing packages; the two escapes
+// below exist for the cases that genuinely need wall time and are the
+// sanctioned way to get it.
+
+// processStart anchors the wall clock; only differences of clock
+// readings are meaningful, and time.Since uses the monotone clock.
+//
+//lint:allow wallclock this is the definition of the wall clock itself
+var processStart = time.Now()
+
+// wallSeconds is the default registry clock: monotone seconds since
+// process start.
+//
+//lint:allow wallclock this is the definition of the wall clock itself
+func wallSeconds() float64 { return time.Since(processStart).Seconds() }
+
+// Wall returns monotone wall seconds since process start — the
+// fallback time source where no registry exists (a farm worker running
+// without telemetry still stamps compute seconds into result hashes).
+// Code holding a registry should use Registry.Now instead so it
+// virtualizes.
+func Wall() float64 { return wallSeconds() }
+
+// Deadline converts a timeout into an absolute wall-clock deadline for
+// network I/O (net.Conn.SetReadDeadline and friends). I/O deadlines
+// are kernel-enforced and cannot be virtualized, so this is wall time
+// by design; routing them through here keeps raw time.Now out of the
+// transports and makes every remaining wall read auditable.
+//
+//lint:allow wallclock I/O deadlines are kernel-enforced wall time by design
+func Deadline(timeout time.Duration) time.Time { return time.Now().Add(timeout) }

@@ -4,16 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 )
-
-// processStart anchors the default wall clock; only differences of
-// clock readings are meaningful, and time.Since uses the monotone clock.
-var processStart = time.Now()
-
-// wallSeconds is the default registry clock: monotone seconds since
-// process start.
-func wallSeconds() float64 { return time.Since(processStart).Seconds() }
 
 // Registry is a namespace of metrics and a span factory. Create one
 // with New; the zero value is not usable, but a nil *Registry is a

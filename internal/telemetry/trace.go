@@ -35,6 +35,7 @@ func randUint64() uint64 {
 			return v
 		}
 	}
+	//lint:allow wallclock entropy-failure fallback for ID uniqueness, not a time source
 	return uint64(time.Now().UnixNano()) | 1
 }
 
@@ -200,15 +201,22 @@ func (tr Trace) Find(name string) (SpanRecord, bool) {
 	return SpanRecord{}, false
 }
 
-// Traces returns every retained trace, reassembled, in no particular
-// order. Each trace's spans are start-ordered.
+// Traces returns every retained trace, reassembled, ordered by trace
+// ID so repeated snapshots of the same table render identically. Each
+// trace's spans are start-ordered.
 func (r *Registry) Traces() []Trace {
 	if r == nil {
 		return nil
 	}
 	r.traces.mu.Lock()
-	out := make([]Trace, 0, len(r.traces.traces))
-	for id, e := range r.traces.traces {
+	ids := make([]uint64, 0, len(r.traces.traces))
+	for id := range r.traces.traces {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Trace, 0, len(ids))
+	for _, id := range ids {
+		e := r.traces.traces[id]
 		tr := Trace{TraceID: id, Spans: make([]SpanRecord, len(e.spans))}
 		copy(tr.Spans, e.spans)
 		out = append(out, tr)

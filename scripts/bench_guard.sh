@@ -1,0 +1,75 @@
+#!/bin/sh
+# bench_guard.sh — allocation-regression gate.
+#
+# Re-runs the allocation-critical mpi benchmarks with -benchmem and
+# compares bytes/op and allocs/op against the budgets recorded in
+# BENCH_alloc.json. allocs/op must not exceed its budget at all (the
+# codec paths are engineered to zero); bytes/op gets 25% + 16B headroom
+# for size-class noise. Any regression fails the build — that is the
+# point: the zero-alloc hot path stays zero-alloc by machine check, not
+# by reviewer memory.
+#
+# Usage: sh scripts/bench_guard.sh  (or: make benchguard)
+set -eu
+cd "$(dirname "$0")/.."
+
+BUDGETS=BENCH_alloc.json
+BENCHTIME="${BENCHTIME:-1000x}"
+
+out=$(go test -bench 'BenchmarkFrameCodec|BenchmarkHubRoundTrip' -benchmem -benchtime "$BENCHTIME" -run '^$' ./internal/mpi)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk -v budgets="$BUDGETS" '
+BEGIN {
+    # Parse the one-object-per-line results array of BENCH_alloc.json.
+    while ((getline line < budgets) > 0) {
+        if (line !~ /"case"/) continue
+        name = line; sub(/.*"case":[ \t]*"/, "", name); sub(/".*/, "", name)
+        b = line; sub(/.*"bytes_per_op":[ \t]*/, "", b); sub(/[,} ].*/, "", b)
+        a = line; sub(/.*"allocs_per_op":[ \t]*/, "", a); sub(/[,} ].*/, "", a)
+        bytes[name] = b + 0
+        allocs[name] = a + 0
+        seen[name] = 0
+    }
+    close(budgets)
+    fail = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    if (!(name in bytes)) next
+    seen[name] = 1
+    gotB = ""; gotA = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "B/op") gotB = $i + 0
+        if ($(i+1) == "allocs/op") gotA = $i + 0
+    }
+    if (gotB == "" || gotA == "") {
+        printf "bench_guard: %s: could not parse -benchmem fields\n", name
+        fail = 1
+        next
+    }
+    limB = bytes[name] * 1.25 + 16
+    if (gotA > allocs[name]) {
+        printf "bench_guard: %s: %d allocs/op exceeds budget %d\n", name, gotA, allocs[name]
+        fail = 1
+    }
+    if (gotB > limB) {
+        printf "bench_guard: %s: %d B/op exceeds budget %d (+25%%+16)\n", name, gotB, bytes[name]
+        fail = 1
+    }
+}
+END {
+    for (name in seen) {
+        if (!seen[name]) {
+            printf "bench_guard: budgeted case %s did not run\n", name
+            fail = 1
+        }
+    }
+    if (fail) {
+        print "bench_guard: FAIL — allocation budgets exceeded (see BENCH_alloc.json)"
+        exit 1
+    }
+    print "bench_guard: OK — all cases within BENCH_alloc.json budgets"
+}
+'
