@@ -74,10 +74,21 @@ func RunRootMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loader,
 }
 
 // passLoader forwards already-prepared payload bytes unchanged; the
-// sub-master never redoes the root's object construction.
+// sub-master never redoes the root's object construction. A task holding
+// only a by-reference object (received over an in-process link, resent
+// over a wire one) is serialized here as the fallback.
 type passLoader struct{}
 
-func (passLoader) Load(t Task, s Strategy) ([]byte, error) { return t.Data, nil }
+func (passLoader) Load(t Task, s Strategy) ([]byte, error) {
+	if t.Data == nil && t.Obj != nil {
+		ser, err := nsp.Serialize(t.Obj)
+		if err != nil {
+			return nil, fmt.Errorf("farm: serialize chunk object: %w", err)
+		}
+		return ser.Data, nil
+	}
+	return t.Data, nil
+}
 
 // RunSubMaster receives chunks from the root, farms each chunk task-by-
 // task over its own workers, and ships the chunk's results back as one
@@ -110,11 +121,14 @@ func RunSubMaster(c mpi.Comm, workers []int, opts Options) error {
 				return fmt.Errorf("farm: sub-master %d: malformed chunk payload", c.Rank())
 			}
 			for i, item := range list.Items {
-				s, ok := item.(*nsp.Serial)
-				if !ok {
-					return fmt.Errorf("farm: sub-master %d: chunk payload %d not a serial", c.Rank(), i)
+				if s, ok := item.(*nsp.Serial); ok {
+					tasks[i].Data = s.Data
+					continue
 				}
-				tasks[i].Data = s.Data
+				// By-reference chunk item: keep the object; the re-dispatch
+				// to this group's workers ships it by reference again (or
+				// serializes it via the loader on wire transports).
+				tasks[i].Obj = item
 			}
 		} else {
 			// NFS: workers read by name; preserve declared sizes through

@@ -15,8 +15,18 @@ type LiveLoader struct{}
 // Load implements Loader. FullLoad performs the complete round — decode
 // the save-file stream into an object, then re-serialise it — whose cost
 // the serialized-load strategy exists to avoid; SerializedLoad is the
-// sload path that ships the file bytes untouched.
+// sload path that ships the file bytes untouched. An object-only task
+// (Obj set, no Data) reaching the loader means the communicator cannot
+// pass references, so the object is serialized here as the wire
+// fallback.
 func (LiveLoader) Load(t Task, s Strategy) ([]byte, error) {
+	if t.Data == nil && t.Obj != nil {
+		ser, err := nsp.Serialize(t.Obj)
+		if err != nil {
+			return nil, fmt.Errorf("farm: serialize task object: %w", err)
+		}
+		return ser.Data, nil
+	}
 	switch s {
 	case FullLoad:
 		obj, err := nsp.SLoadBytes(t.Data).Unserialize()
@@ -61,6 +71,25 @@ func (LiveExecutor) Execute(name string, payload []byte, cost float64, size int)
 	// hasdelta distinguishes "delta is 0" from "method computes no delta",
 	// so consumers rebuilding a premia.Result (the serving layer's cache)
 	// keep full fidelity.
+	if res.HasDelta {
+		h.Set("hasdelta", nsp.Scalar(1))
+	}
+	return h, nil
+}
+
+// ExecuteObj implements ObjExecutor: the problem arrived by reference,
+// so pricing skips the decode pass entirely — rebuild → compute →
+// result hash.
+func (LiveExecutor) ExecuteObj(name string, obj nsp.Object, cost float64, size int) (nsp.Object, error) {
+	p, err := premia.FromNsp(obj)
+	if err != nil {
+		return nil, fmt.Errorf("farm: rebuild problem %q: %w", name, err)
+	}
+	res, err := p.Compute()
+	if err != nil {
+		return nil, fmt.Errorf("farm: compute %q: %w", name, err)
+	}
+	h := resultHash(name, res.Price, res.PriceCI, res.Delta, res.Work)
 	if res.HasDelta {
 		h.Set("hasdelta", nsp.Scalar(1))
 	}

@@ -98,8 +98,15 @@ func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, opts Options, bt
 	if !opts.Strategy.NeedsPayload() {
 		return nil
 	}
+	_, byRef := c.(mpi.ObjRefComm)
 	payload := nsp.NewList()
 	for _, t := range b {
+		if byRef && t.Obj != nil {
+			// The communicator passes objects by reference, so the problem
+			// ships with no load/serialize step at all.
+			payload.Add(t.Obj)
+			continue
+		}
 		start := reg.Now()
 		data, err := loader.Load(t, opts.Strategy)
 		if err != nil {

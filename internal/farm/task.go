@@ -57,6 +57,12 @@ type Task struct {
 	Name string
 	// Data is the problem's save-file content (nsp-serialized stream).
 	Data []byte
+	// Obj, when set, is the problem object itself. On communicators that
+	// pass objects by reference (in-process worlds) it travels to the
+	// worker without any serialization; on wire transports the loader
+	// serializes it on demand. The object must not be mutated after the
+	// task is handed to the farm.
+	Obj nsp.Object
 	// Cost is the task's virtual compute time in seconds, used by
 	// simulated executors; live executors ignore it.
 	Cost float64

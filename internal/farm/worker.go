@@ -19,6 +19,17 @@ type Executor interface {
 	Execute(name string, payload []byte, cost float64, size int) (nsp.Object, error)
 }
 
+// ObjExecutor is the optional extension of Executor for workers on
+// object-reference communicators: when the master ships a problem object
+// by reference instead of a serialized payload, the worker prices it
+// through ExecuteObj with no decode step. Executors that never run on
+// such communicators need not implement it.
+type ObjExecutor interface {
+	Executor
+	// ExecuteObj prices one task whose problem arrived as an object.
+	ExecuteObj(name string, obj nsp.Object, cost float64, size int) (nsp.Object, error)
+}
+
 // Store abstracts the shared file system used by the NFSLoad strategy.
 type Store interface {
 	// Read fetches a problem file's bytes by name. size is the byte count
@@ -74,6 +85,7 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 		}
 		var shipped []telemetry.SpanRecord
 		payloads := make([][]byte, len(names))
+		var objs []nsp.Object
 		var fetchSpan *telemetry.Span
 		if traced {
 			fetchSpan = reg.StartSpanIn(taskCtx(0), "farm.fetch")
@@ -89,11 +101,21 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 				return fmt.Errorf("farm: worker %d: malformed payload list", c.Rank())
 			}
 			for i, item := range list.Items {
-				s, ok := item.(*nsp.Serial)
-				if !ok {
-					return fmt.Errorf("farm: worker %d: payload %d is %v, want serial", c.Rank(), i, item.Kind())
+				if s, ok := item.(*nsp.Serial); ok {
+					payloads[i] = s.Data
+					continue
 				}
-				payloads[i] = s.Data
+				// A non-serial item is a problem shipped by reference over
+				// an in-process communicator.
+				if objs == nil {
+					objs = make([]nsp.Object, len(names))
+				}
+				objs[i] = item
+			}
+			if objs != nil {
+				if _, ok := exec.(ObjExecutor); !ok {
+					return fmt.Errorf("farm: worker %d: payload has object items but executor is not an ObjExecutor", c.Rank())
+				}
 			}
 		} else {
 			if store == nil {
@@ -123,7 +145,13 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 				span = reg.StartSpan("farm.compute")
 			}
 			start := clock()
-			res, err := exec.Execute(name, payloads[i], costs[i], int(sizes[i]))
+			var res nsp.Object
+			var err error
+			if objs != nil && objs[i] != nil {
+				res, err = exec.(ObjExecutor).ExecuteObj(name, objs[i], costs[i], int(sizes[i]))
+			} else {
+				res, err = exec.Execute(name, payloads[i], costs[i], int(sizes[i]))
+			}
 			elapsed := clock() - start
 			reg.Observe("farm.compute_seconds", elapsed)
 			span.End()

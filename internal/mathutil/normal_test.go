@@ -62,6 +62,102 @@ func TestInvNormCDFEdges(t *testing.T) {
 	}
 }
 
+// TestInvNormCDFTailRoundTrip walks log-spaced probabilities down to
+// p = 1e-320 (deep in the subnormal range) and checks that InvNormCDF
+// stays finite and round-trips through NormCDF. Beyond p ≈ 1e-310 the
+// refinement runs in its density-quotient form on subnormal
+// intermediates, so the tolerance widens there: at p = 1e-320 the
+// probability itself has only ~11 mantissa bits left.
+func TestInvNormCDFTailRoundTrip(t *testing.T) {
+	for k := 1; k <= 320; k++ {
+		p := math.Pow(10, -float64(k))
+		x := InvNormCDF(p)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("InvNormCDF(1e-%d) = %v, want finite", k, x)
+		}
+		back := NormCDF(x)
+		tol := 1e-8
+		if k > 300 {
+			tol = 1e-2
+		}
+		if math.Abs(back-p) > tol*p {
+			t.Errorf("NormCDF(InvNormCDF(1e-%d)) = %g, want %g (rel %g)", k, back, p, math.Abs(back-p)/p)
+		}
+	}
+}
+
+// TestInvNormCDFUpperTailRoundTrip mirrors the lower-tail walk near 1:
+// for p = 1-10^-k the round trip is checked on the survival side via
+// 0.5*Erfc(x/√2), since NormCDF(x) itself rounds to 1.0 there and would
+// hide any tail error.
+func TestInvNormCDFUpperTailRoundTrip(t *testing.T) {
+	for k := 1; k <= 16; k++ {
+		p := 1 - math.Pow(10, -float64(k))
+		if p >= 1 {
+			break
+		}
+		x := InvNormCDF(p)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("InvNormCDF(1-1e-%d) = %v, want finite", k, x)
+		}
+		// The accuracy floor near 1 is the 2⁻⁵³ spacing of doubles: the
+		// Halley residual NormCDF(x)-p is quantized to ~1.1e-16 absolute,
+		// which shows up as ~1e-7 relative in the recovered survival.
+		q := 1 - p // the exactly-representable complement
+		surv := 0.5 * math.Erfc(x/math.Sqrt2)
+		if math.Abs(surv-q) > 1e-6*q {
+			t.Errorf("survival(InvNormCDF(1-1e-%d)) = %g, want %g", k, surv, q)
+		}
+	}
+}
+
+// TestInvNormCDFExtremeEdges pins the tail-domain guarantee at the very
+// ends of (0,1): the smallest subnormal and the largest double below 1
+// must map to finite quantiles of the right sign, not NaN — the
+// pre-fix Halley step returned Inf/-Inf = NaN here.
+func TestInvNormCDFExtremeEdges(t *testing.T) {
+	// At 5e-324 the Acklam fit is extrapolated well past its q ≈ 37.6
+	// design range, so only finiteness and a deep-tail magnitude are
+	// guaranteed, not the usual accuracy.
+	lo := InvNormCDF(math.SmallestNonzeroFloat64) // p = 5e-324
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || lo > -35 {
+		t.Errorf("InvNormCDF(5e-324) = %v, want finite below -35", lo)
+	}
+	hi := InvNormCDF(math.Nextafter(1, 0)) // p = 1 - 2^-53
+	if math.IsNaN(hi) || math.IsInf(hi, 0) || hi < 8 {
+		t.Errorf("InvNormCDF(1-2^-53) = %v, want finite above 8", hi)
+	}
+}
+
+// TestInvNormCDFBatchBitIdentical checks that the batched form used by
+// the SoA kernels is bit-for-bit the scalar function, including the
+// edge conventions for 0, 1, NaN and subnormal inputs.
+func TestInvNormCDFBatchBitIdentical(t *testing.T) {
+	ps := []float64{
+		0, 1, math.NaN(), -0.5, 2,
+		math.SmallestNonzeroFloat64, 1e-320, 1e-300, 1e-100, 1e-12,
+		0.02425, 0.3, 0.5, 0.7, 1 - 0.02425, 0.999, 1 - 1e-12, math.Nextafter(1, 0),
+	}
+	rng := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		ps = append(ps, rng.Float64Open())
+	}
+	dst := make([]float64, len(ps))
+	InvNormCDFBatch(dst, ps)
+	for i, p := range ps {
+		want := InvNormCDF(p)
+		if math.IsNaN(want) {
+			if !math.IsNaN(dst[i]) {
+				t.Errorf("batch[%d] = %v, want NaN", i, dst[i])
+			}
+			continue
+		}
+		if math.Float64bits(dst[i]) != math.Float64bits(want) {
+			t.Errorf("batch[%d] for p=%g: %x, scalar %x", i, p, math.Float64bits(dst[i]), math.Float64bits(want))
+		}
+	}
+}
+
 func TestInvNormCDFMonotone(t *testing.T) {
 	f := func(a, b float64) bool {
 		pa := math.Abs(math.Mod(a, 1))

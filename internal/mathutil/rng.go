@@ -28,12 +28,20 @@ type RNG struct {
 // with the same seed produce identical streams on every platform.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to exactly the state NewRNG(seed) would construct,
+// reusing the allocation — the tool for arenas that keep one RNG per
+// shard alive across kernel runs.
+func (r *RNG) Reseed(seed uint64) {
 	r.stateHi, r.stateLo = 0, 0
+	r.gauss, r.hasGauss = 0, false
 	r.step()
 	r.stateLo += seed
 	r.stateHi += splitmix64(seed + 0x9e3779b97f4a7c15)
 	r.step()
-	return r
 }
 
 // splitmix64 is used to spread user seeds over the 128-bit PCG state.
@@ -156,5 +164,13 @@ func (r *RNG) NormVec(dst []float64) {
 // only reads r, so concurrent Split calls on a shared base generator are
 // safe as long as no goroutine advances it.
 func (r *RNG) Split(i uint64) *RNG {
-	return NewRNG(splitmix64(r.stateLo^splitmix64(i)) + splitmix64(r.stateHi+i))
+	dst := &RNG{}
+	r.SplitInto(dst, i)
+	return dst
+}
+
+// SplitInto reseeds dst to the stream Split(i) would return, without
+// allocating. dst must not be in concurrent use.
+func (r *RNG) SplitInto(dst *RNG, i uint64) {
+	dst.Reseed(splitmix64(r.stateLo^splitmix64(i)) + splitmix64(r.stateHi+i))
 }

@@ -1,6 +1,10 @@
 package mpi
 
-import "errors"
+import (
+	"errors"
+
+	"riskbench/internal/nsp"
+)
 
 // Wildcards accepted by Probe and Recv, mirroring MPI_ANY_SOURCE and
 // MPI_ANY_TAG.
@@ -46,11 +50,14 @@ type Comm interface {
 	Close() error
 }
 
-// message is the internal representation of an in-flight message.
+// message is the internal representation of an in-flight message. Either
+// data (a serialized stream, from Send) or obj (a by-reference object,
+// from SendObjRef on same-address-space communicators) is set.
 type message struct {
 	source int
 	tag    int
 	data   []byte
+	obj    nsp.Object
 }
 
 func matches(m message, source, tag int) bool {

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"riskbench/internal/nsp"
 )
 
 // LocalWorld is an in-process communicator universe: n ranks sharing one
@@ -69,6 +71,44 @@ func (c *LocalComm) Send(data []byte, dest, tag int) error {
 	copy(cp, data)
 	c.world.comms[dest].mbox.put(message{source: c.rank, tag: tag, data: cp})
 	return nil
+}
+
+// SendObjRef implements ObjRefComm: ranks of a LocalWorld share one
+// address space, so the object is delivered by reference with no
+// serialization. The caller must not mutate o after the send.
+func (c *LocalComm) SendObjRef(o nsp.Object, dest, tag int) error {
+	if dest < 0 || dest >= len(c.world.comms) {
+		return fmt.Errorf("mpi: send to invalid rank %d (world size %d)", dest, c.Size())
+	}
+	c.world.comms[dest].mbox.put(message{source: c.rank, tag: tag, obj: o})
+	return nil
+}
+
+// RecvObjRef implements ObjRefComm. Messages sent by reference come back
+// as-is (one top-level Serial unsealed, matching RecvObj); byte messages
+// from plain Send are decoded the usual way.
+func (c *LocalComm) RecvObjRef(source, tag int) (nsp.Object, Status, error) {
+	m, err := c.mbox.recv(source, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	st := Status{Source: m.source, Tag: m.tag, Bytes: len(m.data)}
+	if m.obj != nil {
+		o := m.obj
+		if s, ok := o.(*nsp.Serial); ok {
+			inner, err := s.Unserialize()
+			if err != nil {
+				return nil, st, fmt.Errorf("mpi: recv obj unseal: %w", err)
+			}
+			o = inner
+		}
+		return o, st, nil
+	}
+	o, err := decodeObjStream(m.data)
+	if err != nil {
+		return nil, st, err
+	}
+	return o, st, nil
 }
 
 // Probe implements Comm.

@@ -36,11 +36,36 @@ func (b *Buf) Unpack() (nsp.Object, error) {
 	return o, nil
 }
 
+// ObjRefComm is implemented by communicators whose ranks share one
+// address space (LocalComm) and can therefore pass nsp objects by
+// reference, skipping the serialize/deserialize round trip entirely.
+// SendObj and RecvObj use the fast path transparently when the
+// communicator offers it.
+//
+// Reference passing keeps the ownership contract of a real wire send:
+// the sender must not mutate the object after SendObjRef returns, and
+// the receiver owns what RecvObjRef hands back. By-reference messages
+// never touch the byte layer, so they are invisible to the
+// mpi.bytes_*/mpi.msgs_* counters.
+type ObjRefComm interface {
+	Comm
+	// SendObjRef delivers o to dest by reference.
+	SendObjRef(o nsp.Object, dest, tag int) error
+	// RecvObjRef receives the next matching message, whether it was sent
+	// by reference (returned as-is, Serials unsealed) or as bytes
+	// (decoded like RecvObj).
+	RecvObjRef(source, tag int) (nsp.Object, Status, error)
+}
+
 // SendObj transmits any nsp object by transparent serialization, the
 // MPI_Send_Obj primitive. Sending a *nsp.Serial ships its bytes without a
 // second encoding pass, which is what makes the serialized-load strategy
-// cheap on the master.
+// cheap on the master. On an ObjRefComm the object travels by reference
+// and is never serialized at all.
 func SendObj(c Comm, o nsp.Object, dest, tag int) error {
+	if rc, ok := c.(ObjRefComm); ok {
+		return rc.SendObjRef(o, dest, tag)
+	}
 	reg := sink.Load()
 	if s, ok := o.(*nsp.Serial); ok && !s.Compressed {
 		// The serial already holds a full stream: ship it as-is.
@@ -59,10 +84,32 @@ func SendObj(c Comm, o nsp.Object, dest, tag int) error {
 	return c.Send(s.Data, dest, tag)
 }
 
+// decodeObjStream decodes a serialized stream and unseals one top-level
+// Serial, the receive-side convention shared by RecvObj and the byte
+// fallback of RecvObjRef implementations.
+func decodeObjStream(data []byte) (nsp.Object, error) {
+	o, err := nsp.SLoadBytes(data).Unserialize()
+	if err != nil {
+		return nil, fmt.Errorf("mpi: recv obj: %w", err)
+	}
+	if s, ok := o.(*nsp.Serial); ok {
+		inner, err := s.Unserialize()
+		if err != nil {
+			return nil, fmt.Errorf("mpi: recv obj unseal: %w", err)
+		}
+		o = inner
+	}
+	return o, nil
+}
+
 // RecvObj receives an object sent by SendObj (MPI_Recv_Obj). As in Nsp,
 // if the transmitted object is itself a Serial (compressed or not), it is
-// unsealed once so the caller gets the wrapped value directly.
+// unsealed once so the caller gets the wrapped value directly. On an
+// ObjRefComm, by-reference messages come back without a decode pass.
 func RecvObj(c Comm, source, tag int) (nsp.Object, Status, error) {
+	if rc, ok := c.(ObjRefComm); ok {
+		return rc.RecvObjRef(source, tag)
+	}
 	data, st, err := c.Recv(source, tag)
 	if err != nil {
 		return nil, st, err
@@ -70,16 +117,9 @@ func RecvObj(c Comm, source, tag int) (nsp.Object, Status, error) {
 	reg := sink.Load()
 	countMsg(reg, c.Rank(), "recv", len(data))
 	start := reg.Now()
-	o, err := nsp.SLoadBytes(data).Unserialize()
+	o, err := decodeObjStream(data)
 	if err != nil {
-		return nil, st, fmt.Errorf("mpi: recv obj: %w", err)
-	}
-	if s, ok := o.(*nsp.Serial); ok {
-		inner, err := s.Unserialize()
-		if err != nil {
-			return nil, st, fmt.Errorf("mpi: recv obj unseal: %w", err)
-		}
-		o = inner
+		return nil, st, err
 	}
 	if reg != nil {
 		reg.Observe("mpi.unpack_seconds", reg.Now()-start)

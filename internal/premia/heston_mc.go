@@ -33,22 +33,36 @@ func mcHestonEuro(p *Problem) (Result, error) {
 	useAlfonsi := 4*m.Kappa*m.Theta >= m.SigmaV*m.SigmaV
 	rho2 := math.Sqrt(1 - m.Rho*m.Rho)
 	df := math.Exp(-m.R * o.T)
-	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
-		for i := 0; i < n; i++ {
-			x := math.Log(m.S0)
-			v := m.V0
-			for k := 0; k < steps; k++ {
-				z1 := rng.Norm()
-				z2 := rng.Norm()
-				vNew := hestonVarStep(m, v, dt, sqdt*z1, useAlfonsi)
-				x += hestonLogSpotIncrement(m, v, vNew, dt, rho2, z2)
-				v = vNew
-			}
-			st := math.Exp(x)
-			if isCall {
-				accs[0].Add(df * payoffCall(st, o.K))
-			} else {
-				accs[0].Add(df * payoffPut(st, o.K))
+	// Struct-of-arrays: each path's 2·steps normals (z1, z2 interleaved)
+	// are drawn in one batched pass per block, preserving the draw order
+	// of the scalar loop, then the sequential variance / log-spot
+	// evolution consumes its path's row.
+	block := soaBlock / (2 * steps)
+	if block < 1 {
+		block = 1
+	}
+	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford, sc *kernelScratch) {
+		g := sc.floats(block * 2 * steps)
+		for done := 0; done < n; done += block {
+			bn := min(block, n-done)
+			rng.NormVec(g[:bn*2*steps])
+			for i := 0; i < bn; i++ {
+				row := g[i*2*steps : (i+1)*2*steps]
+				x := math.Log(m.S0)
+				v := m.V0
+				for k := 0; k < steps; k++ {
+					z1 := row[2*k]
+					z2 := row[2*k+1]
+					vNew := hestonVarStep(m, v, dt, sqdt*z1, useAlfonsi)
+					x += hestonLogSpotIncrement(m, v, vNew, dt, rho2, z2)
+					v = vNew
+				}
+				st := math.Exp(x)
+				if isCall {
+					accs[0].Add(df * payoffCall(st, o.K))
+				} else {
+					accs[0].Add(df * payoffPut(st, o.K))
+				}
 			}
 		}
 	})

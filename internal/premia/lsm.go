@@ -66,17 +66,20 @@ func mcAmerLSM(p *Problem) (Result, error) {
 	drift := (r - div - 0.5*sigma*sigma) * dt
 	vol := sigma * math.Sqrt(dt)
 	basket := make([]float64, paths*exDates) // basket[i*exDates+k] at date k+1
-	err = runIndexedKernel(p, paths, func(_, start, count int, rng *mathutil.RNG) {
-		logS := make([]float64, dim)
-		z := make([]float64, dim)
-		cz := make([]float64, dim)
+	err = runIndexedKernel(p, paths, func(_, start, count int, rng *mathutil.RNG, sc *kernelScratch) {
+		logS := sc.floats(dim)
+		cz := sc.floats(dim)
+		// All of a path's normals (exDates·dim) are drawn in one batched
+		// pass; the date loop then consumes them row by row in the same
+		// order the interleaved scalar loop drew them.
+		z := sc.floats(exDates * dim)
 		for i := start; i < start+count; i++ {
 			for j := range logS {
 				logS[j] = math.Log(s0)
 			}
+			rng.NormVec(z)
 			for k := 0; k < exDates; k++ {
-				rng.NormVec(z)
-				mathutil.MatVecLower(chol, dim, z, cz)
+				mathutil.MatVecLower(chol, dim, z[k*dim:(k+1)*dim], cz)
 				sum := 0.0
 				for j := 0; j < dim; j++ {
 					logS[j] += drift + vol*cz[j]
@@ -181,13 +184,17 @@ func mcAmerAlfonsi(p *Problem) (Result, error) {
 	// regression phase below stays serial.
 	spots := make([]float64, paths*exDates)
 	vars := make([]float64, paths*exDates)
-	err = runIndexedKernel(p, paths, func(_, start, count int, rng *mathutil.RNG) {
+	err = runIndexedKernel(p, paths, func(_, start, count int, rng *mathutil.RNG, sc *kernelScratch) {
+		// Each path's 2·exDates normals are drawn in one batched pass, in
+		// the same interleaved (z1, z2) order the scalar loop consumed.
+		zz := sc.floats(2 * exDates)
 		for i := start; i < start+count; i++ {
 			x := math.Log(m.S0)
 			v := m.V0
+			rng.NormVec(zz)
 			for k := 0; k < exDates; k++ {
-				z1 := rng.Norm()
-				z2 := rng.Norm()
+				z1 := zz[2*k]
+				z2 := zz[2*k+1]
 				vNew := hestonVarStep(m, v, dt, sqdt*z1, useAlfonsi)
 				x += hestonLogSpotIncrement(m, v, vNew, dt, rho2, z2)
 				v = vNew

@@ -55,20 +55,31 @@ func mcEuro(p *Problem) (Result, error) {
 		drift := (m.R - m.Div - 0.5*m.Sigma*m.Sigma) * o.T
 		vol := m.Sigma * math.Sqrt(o.T)
 		df := math.Exp(-m.R * o.T)
-		eval := func(g float64) (pay, dpay float64) {
-			st := m.S0 * math.Exp(drift+vol*g)
+		// Struct-of-arrays inner loops: normals are drawn, terminal spots
+		// evolved, and payoffs accumulated in three batched passes over
+		// contiguous scratch buffers. The per-path arithmetic and
+		// accumulation order match the scalar formulation exactly, so the
+		// estimate is bit-identical to the path-at-a-time loop.
+		payoffPass := func(st []float64, accs []mathutil.Welford, scale float64) {
 			if isCall {
-				pay = payoffCall(st, o.K)
-				if st > o.K {
-					dpay = st / m.S0 // pathwise delta of a call
+				for _, s := range st {
+					var dpay float64
+					if s > o.K {
+						dpay = s / m.S0 // pathwise delta of a call
+					}
+					accs[0].Add(scale * payoffCall(s, o.K))
+					accs[1].Add(scale * dpay)
 				}
 			} else {
-				pay = payoffPut(st, o.K)
-				if st < o.K {
-					dpay = -st / m.S0
+				for _, s := range st {
+					var dpay float64
+					if s < o.K {
+						dpay = -s / m.S0
+					}
+					accs[0].Add(scale * payoffPut(s, o.K))
+					accs[1].Add(scale * dpay)
 				}
 			}
-			return pay, dpay
 		}
 		var accs []mathutil.Welford
 		if antithetic {
@@ -76,21 +87,55 @@ func mcEuro(p *Problem) (Result, error) {
 			// sample with strictly smaller variance for monotone payoffs.
 			// The kernel shards over pairs, so each pair stays on one
 			// stream.
-			accs, err = runPathKernel(p, paths/2, 2, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
-				for i := 0; i < n; i++ {
-					g := rng.Norm()
-					p1, d1 := eval(g)
-					p2, d2 := eval(-g)
-					accs[0].Add(df * (p1 + p2) / 2)
-					accs[1].Add(df * (d1 + d2) / 2)
+			pairPay := func(s1, s2 float64) (pay, dpay float64) {
+				if isCall {
+					pay = payoffCall(s1, o.K) + payoffCall(s2, o.K)
+					if s1 > o.K {
+						dpay = s1 / m.S0
+					}
+					if s2 > o.K {
+						dpay += s2 / m.S0
+					}
+				} else {
+					pay = payoffPut(s1, o.K) + payoffPut(s2, o.K)
+					if s1 < o.K {
+						dpay = -s1 / m.S0
+					}
+					if s2 < o.K {
+						dpay += -s2 / m.S0
+					}
+				}
+				return pay, dpay
+			}
+			accs, err = runPathKernel(p, paths/2, 2, func(rng *mathutil.RNG, n int, accs []mathutil.Welford, sc *kernelScratch) {
+				g := sc.floats(soaBlock)
+				st1 := sc.floats(soaBlock)
+				st2 := sc.floats(soaBlock)
+				for done := 0; done < n; done += soaBlock {
+					bn := min(soaBlock, n-done)
+					rng.NormVec(g[:bn])
+					for i := 0; i < bn; i++ {
+						st1[i] = m.S0 * math.Exp(drift+vol*g[i])
+						st2[i] = m.S0 * math.Exp(drift+vol*-g[i])
+					}
+					for i := 0; i < bn; i++ {
+						p12, d12 := pairPay(st1[i], st2[i])
+						accs[0].Add(df * p12 / 2)
+						accs[1].Add(df * d12 / 2)
+					}
 				}
 			})
 		} else {
-			accs, err = runPathKernel(p, paths, 2, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
-				for i := 0; i < n; i++ {
-					pay, dpay := eval(rng.Norm())
-					accs[0].Add(df * pay)
-					accs[1].Add(df * dpay)
+			accs, err = runPathKernel(p, paths, 2, func(rng *mathutil.RNG, n int, accs []mathutil.Welford, sc *kernelScratch) {
+				g := sc.floats(soaBlock)
+				st := sc.floats(soaBlock)
+				for done := 0; done < n; done += soaBlock {
+					bn := min(soaBlock, n-done)
+					rng.NormVec(g[:bn])
+					for i := 0; i < bn; i++ {
+						st[i] = m.S0 * math.Exp(drift+vol*g[i])
+					}
+					payoffPass(st[:bn], accs, df)
 				}
 			})
 		}
@@ -124,7 +169,10 @@ func mcEuro(p *Problem) (Result, error) {
 		df := math.Exp(-m.R * o.T)
 		lnL := math.Log(o.L)
 		sig2dt := m.Sigma * m.Sigma * dt
-		accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
+		// The barrier path stays path-at-a-time: early knock-out ends the
+		// path's draws, so the per-path draw count is data-dependent and
+		// pre-filling a normals block would shift the stream.
+		accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford, _ *kernelScratch) {
 			for i := 0; i < n; i++ {
 				x := math.Log(m.S0)
 				alive := true
@@ -193,20 +241,31 @@ func mcBasket(p *Problem) (Result, error) {
 	df := math.Exp(-m.R * o.T)
 
 	isCall := p.Option == OptCallBasketEuro
-	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
-		z := make([]float64, d)
-		cz := make([]float64, d)
-		st := make([]float64, d)
-		for i := 0; i < n; i++ {
-			rng.NormVec(z)
-			mathutil.MatVecLower(chol, d, z, cz)
-			for j := 0; j < d; j++ {
-				st[j] = m.S0 * math.Exp(drift+vol*cz[j])
-			}
-			if isCall {
-				accs[0].Add(df * payoffCall(basketValue(st), o.K))
-			} else {
-				accs[0].Add(df * payoffPut(basketValue(st), o.K))
+	// Struct-of-arrays: draw a whole block of path normals in one batched
+	// pass, then correlate / evolve / accumulate path by path. The draw
+	// order and per-path arithmetic are unchanged, so the estimate is
+	// bit-identical to the path-at-a-time loop.
+	block := soaBlock / d
+	if block < 1 {
+		block = 1
+	}
+	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford, sc *kernelScratch) {
+		g := sc.floats(block * d)
+		cz := sc.floats(d)
+		st := sc.floats(d)
+		for done := 0; done < n; done += block {
+			bn := min(block, n-done)
+			rng.NormVec(g[:bn*d])
+			for i := 0; i < bn; i++ {
+				mathutil.MatVecLower(chol, d, g[i*d:(i+1)*d], cz)
+				for j := 0; j < d; j++ {
+					st[j] = m.S0 * math.Exp(drift+vol*cz[j])
+				}
+				if isCall {
+					accs[0].Add(df * payoffCall(basketValue(st), o.K))
+				} else {
+					accs[0].Add(df * payoffPut(basketValue(st), o.K))
+				}
 			}
 		}
 	})
@@ -240,22 +299,35 @@ func mcLocalVol(p *Problem) (Result, error) {
 	dt := o.T / float64(steps)
 	sqdt := math.Sqrt(dt)
 	df := math.Exp(-m.R * o.T)
-	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford) {
-		for i := 0; i < n; i++ {
-			s := m.S0
-			t := 0.0
-			for k := 0; k < steps; k++ {
-				sig := m.Vol(t, s)
-				s *= math.Exp((m.R-m.Div-0.5*sig*sig)*dt + sig*sqdt*rng.Norm())
-				t += dt
+	// Struct-of-arrays: each block's normals (steps per path) are drawn in
+	// one batched pass; the sequential-in-time evolution then consumes its
+	// path's row. Draw order matches the interleaved scalar loop exactly.
+	block := soaBlock / steps
+	if block < 1 {
+		block = 1
+	}
+	accs, err := runPathKernel(p, paths, 1, func(rng *mathutil.RNG, n int, accs []mathutil.Welford, sc *kernelScratch) {
+		g := sc.floats(block * steps)
+		for done := 0; done < n; done += block {
+			bn := min(block, n-done)
+			rng.NormVec(g[:bn*steps])
+			for i := 0; i < bn; i++ {
+				row := g[i*steps : (i+1)*steps]
+				s := m.S0
+				t := 0.0
+				for k := 0; k < steps; k++ {
+					sig := m.Vol(t, s)
+					s *= math.Exp((m.R-m.Div-0.5*sig*sig)*dt + sig*sqdt*row[k])
+					t += dt
+				}
+				var pay float64
+				if isCall {
+					pay = payoffCall(s, o.K)
+				} else {
+					pay = payoffPut(s, o.K)
+				}
+				accs[0].Add(df * pay)
 			}
-			var pay float64
-			if isCall {
-				pay = payoffCall(s, o.K)
-			} else {
-				pay = payoffPut(s, o.K)
-			}
-			accs[0].Add(df * pay)
 		}
 	})
 	if err != nil {

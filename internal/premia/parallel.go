@@ -141,25 +141,107 @@ func kernelRun(threads, shards int, body func(shard int)) {
 	}
 }
 
+// soaBlock is the unit granularity of the struct-of-arrays method loops:
+// normal draws, path evolution and payoff evaluation each run as tight
+// batched passes over contiguous scratch buffers of at most this many
+// float64 (32 KiB), large enough to amortise per-call overhead and small
+// enough to stay cache-resident.
+const soaBlock = 4096
+
+// kernelScratch is one shard's reusable buffer arena. Method bodies draw
+// their working []float64 from it instead of allocating, so a shard's
+// buffers are reused across blocks within a run and — through the arena
+// pool — across runs. Buffers are only valid until the shard body
+// returns; bodies must not retain them.
+type kernelScratch struct {
+	rng  mathutil.RNG // the shard's stream, reseeded by SplitInto per run
+	accs []mathutil.Welford
+	bufs [][]float64
+	next int
+}
+
+// floats returns a scratch []float64 of length n with arbitrary contents,
+// reusing a previously grown buffer when one is large enough.
+func (s *kernelScratch) floats(n int) []float64 {
+	if s.next < len(s.bufs) && cap(s.bufs[s.next]) >= n {
+		b := s.bufs[s.next][:n]
+		s.next++
+		return b
+	}
+	b := make([]float64, n)
+	if s.next < len(s.bufs) {
+		s.bufs[s.next] = b
+	} else {
+		s.bufs = append(s.bufs, b)
+	}
+	s.next++
+	return b
+}
+
+// welford returns n zeroed accumulators backed by the scratch.
+func (s *kernelScratch) welford(n int) []mathutil.Welford {
+	if cap(s.accs) < n {
+		s.accs = make([]mathutil.Welford, n)
+	}
+	s.accs = s.accs[:n]
+	for i := range s.accs {
+		s.accs[i] = mathutil.Welford{}
+	}
+	return s.accs
+}
+
+// kernelArena holds one kernel run's per-shard scratches. Arenas are
+// pooled across runs (concurrent runs each draw their own arena, so the
+// per-shard buffers never contend), which is what makes the steady-state
+// path-generation loop allocation-free.
+type kernelArena struct {
+	shards []kernelScratch
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(kernelArena) }}
+
+// getArena returns a pooled arena sized to `shards`, with every scratch
+// rewound so its buffers are reusable.
+func getArena(shards int) *kernelArena {
+	a := arenaPool.Get().(*kernelArena)
+	if cap(a.shards) < shards {
+		old := a.shards
+		a.shards = make([]kernelScratch, shards)
+		copy(a.shards, old[:cap(old)])
+	}
+	a.shards = a.shards[:shards]
+	for i := range a.shards {
+		a.shards[i].next = 0
+	}
+	return a
+}
+
+func putArena(a *kernelArena) { arenaPool.Put(a) }
+
 // runPathKernel simulates n independent units (paths, antithetic pairs,
 // …) through the kernel: body runs once per shard with the shard's own
-// decorrelated RNG stream, its unit count, and naccs fresh accumulators.
-// The per-shard accumulators are merged in shard order, so the returned
-// statistics depend only on (seed, n), never on the thread count.
-func runPathKernel(p *Problem, n, naccs int, body func(rng *mathutil.RNG, n int, accs []mathutil.Welford)) ([]mathutil.Welford, error) {
-	perShard := make([][]mathutil.Welford, len(shardCounts(n)))
-	err := runIndexedKernel(p, n, func(shard, start, count int, rng *mathutil.RNG) {
-		accs := make([]mathutil.Welford, naccs)
-		body(rng, count, accs)
-		perShard[shard] = accs
-	})
+// decorrelated RNG stream, its unit count, naccs fresh accumulators, and
+// the shard's scratch arena for struct-of-arrays buffers. The per-shard
+// accumulators are merged in shard order, so the returned statistics
+// depend only on (seed, n), never on the thread count.
+func runPathKernel(p *Problem, n, naccs int, body func(rng *mathutil.RNG, n int, accs []mathutil.Welford, scratch *kernelScratch)) ([]mathutil.Welford, error) {
+	threads, err := kernelThreads(p)
 	if err != nil {
 		return nil, err
 	}
+	counts := shardCounts(n)
+	base := mathutil.NewRNG(mcSeed(p))
+	a := getArena(len(counts))
+	defer putArena(a)
+	kernelRun(threads, len(counts), func(s int) {
+		sc := &a.shards[s]
+		base.SplitInto(&sc.rng, uint64(s))
+		body(&sc.rng, counts[s], sc.welford(naccs), sc)
+	})
 	merged := make([]mathutil.Welford, naccs)
-	for _, accs := range perShard {
+	for s := range a.shards {
 		for j := range merged {
-			merged[j].Merge(accs[j])
+			merged[j].Merge(a.shards[s].accs[j])
 		}
 	}
 	return merged, nil
@@ -168,8 +250,9 @@ func runPathKernel(p *Problem, n, naccs int, body func(rng *mathutil.RNG, n int,
 // runIndexedKernel is the lower-level shape for methods that write
 // per-path results into pre-allocated disjoint slices (the LSM
 // path-generation phase): body receives the shard index, the shard's
-// global unit offset and count, and the shard's RNG stream.
-func runIndexedKernel(p *Problem, n int, body func(shard, start, count int, rng *mathutil.RNG)) error {
+// global unit offset and count, the shard's RNG stream, and the shard's
+// scratch arena.
+func runIndexedKernel(p *Problem, n int, body func(shard, start, count int, rng *mathutil.RNG, scratch *kernelScratch)) error {
 	threads, err := kernelThreads(p)
 	if err != nil {
 		return err
@@ -180,8 +263,12 @@ func runIndexedKernel(p *Problem, n int, body func(shard, start, count int, rng 
 		starts[i] = starts[i-1] + counts[i-1]
 	}
 	base := mathutil.NewRNG(mcSeed(p))
+	a := getArena(len(counts))
+	defer putArena(a)
 	kernelRun(threads, len(counts), func(s int) {
-		body(s, starts[s], counts[s], base.Split(uint64(s)))
+		sc := &a.shards[s]
+		base.SplitInto(&sc.rng, uint64(s))
+		body(s, starts[s], counts[s], &sc.rng, sc)
 	})
 	return nil
 }

@@ -66,21 +66,22 @@ func qmcBasket(p *Problem) (Result, error) {
 		streams = perRot
 	}
 	sums := make([]float64, rotations*streams)
+	a := getArena(rotations * streams)
+	defer putArena(a)
 	kernelRun(threads, rotations*streams, func(shard int) {
 		rot := shard / streams
 		j := shard % streams
 		h := mathutil.NewHaltonLeap(d, seed+uint64(rot)*0x9e3779b9, uint64(1+j), uint64(streams))
 		count := (perRot - j + streams - 1) / streams
-		u := make([]float64, d)
-		z := make([]float64, d)
-		cz := make([]float64, d)
-		st := make([]float64, d)
+		sc := &a.shards[shard]
+		u := sc.floats(d)
+		z := sc.floats(d)
+		cz := sc.floats(d)
+		st := sc.floats(d)
 		sum := 0.0
 		for i := 0; i < count; i++ {
 			h.Next(u)
-			for k := 0; k < d; k++ {
-				z[k] = mathutil.InvNormCDF(u[k])
-			}
+			mathutil.InvNormCDFBatch(z, u)
 			mathutil.MatVecLower(chol, d, z, cz)
 			for k := 0; k < d; k++ {
 				st[k] = m.S0 * math.Exp(drift+vol*cz[k])

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"riskbench/internal/farm"
-	"riskbench/internal/nsp"
 	"riskbench/internal/premia"
 	"riskbench/internal/telemetry"
 )
@@ -122,11 +121,10 @@ func (e Engine) PriceBatch(ctx context.Context, problems []*premia.Problem) ([]P
 		if err != nil {
 			return nil, err
 		}
-		ser, err := nsp.Serialize(h)
-		if err != nil {
-			return nil, err
-		}
-		tasks = append(tasks, farm.Task{Name: key, Data: ser.Data})
+		// The problem ships as an object: in-process backends pass it by
+		// reference with zero serialization, wire backends let the farm
+		// loader serialize it on demand.
+		tasks = append(tasks, farm.Task{Name: key, Obj: h})
 	}
 	if len(tasks) == 0 {
 		return out, nil

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"time"
 
 	"riskbench/internal/premia"
@@ -11,7 +13,9 @@ import (
 
 // PriceFunc prices a batch of problems and returns index-aligned
 // outcomes. risk.Engine.PriceBatch is the production implementation;
-// tests substitute stubs to count kernel evaluations.
+// tests substitute stubs to count kernel evaluations. The problems
+// slice is reused across batches, so implementations must not retain it
+// past the call.
 type PriceFunc func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error)
 
 // priceRequest is one problem waiting for a batch slot. done is
@@ -19,6 +23,11 @@ type PriceFunc func(ctx context.Context, problems []*premia.Problem) ([]risk.Pri
 // has abandoned its deadline. span roots the request's distributed
 // trace and queue times its wait for a batch slot; both are nil when
 // tracing is off.
+//
+// Descriptors are pooled: acquire with newPriceRequest, return with
+// release once the response has been consumed (or the request was never
+// enqueued), so the buffered done channel is guaranteed empty for the
+// next user.
 type priceRequest struct {
 	problem *premia.Problem
 	done    chan priceResponse
@@ -29,6 +38,26 @@ type priceRequest struct {
 type priceResponse struct {
 	outcome risk.PriceOutcome
 	err     error // batch-level failure (transport, cancellation)
+}
+
+var requestPool = sync.Pool{New: func() any {
+	return &priceRequest{done: make(chan priceResponse, 1)}
+}}
+
+// newPriceRequest returns a pooled descriptor for one problem, its done
+// channel allocated once and reused across requests.
+func newPriceRequest(p *premia.Problem) *priceRequest {
+	r := requestPool.Get().(*priceRequest)
+	r.problem = p
+	return r
+}
+
+// release returns the descriptor to the pool. The caller must have
+// consumed the response (or never enqueued the request): a stale value
+// left in done would leak into the descriptor's next life.
+func (r *priceRequest) release() {
+	r.problem, r.span, r.queue = nil, nil, nil
+	requestPool.Put(r)
 }
 
 // batcher coalesces single-problem requests into farm batches: it
@@ -50,6 +79,10 @@ type batcher struct {
 	ctx      context.Context
 	in       chan *priceRequest
 	exited   chan struct{}
+
+	// problems is runBatch's reusable argument slice for price; both run
+	// on the batcher goroutine, so no locking is needed.
+	problems []*premia.Problem
 }
 
 func newBatcher(ctx context.Context, price PriceFunc, maxBatch int, maxDelay time.Duration, queue int, reg *telemetry.Registry) *batcher {
@@ -99,23 +132,36 @@ func (b *batcher) close() {
 
 func (b *batcher) loop() {
 	defer close(b.exited)
+	// buf and the flush timer are reused across batches: runBatch is
+	// synchronous, so once it returns the batch's descriptors belong to
+	// their consumers and buf can be truncated in place.
 	var (
 		buf     []*priceRequest
 		timer   *time.Timer
 		timeout <-chan time.Time
 	)
 	flush := func() {
-		if timer != nil {
-			timer.Stop()
-			timer, timeout = nil, nil
+		if timeout != nil {
+			if !timer.Stop() {
+				// The timer fired between the maxBatch flush decision and
+				// here; drain the stale tick so the reused timer cannot
+				// flush the next batch prematurely.
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timeout = nil
 		}
 		if len(buf) == 0 {
 			return
 		}
-		batch := buf
-		buf = nil
-		b.reg.Observe("serve.batch.size", float64(len(batch)))
-		b.runBatch(batch)
+		b.reg.Observe("serve.batch.size", float64(len(buf)))
+		b.runBatch(buf)
+		for i := range buf {
+			buf[i] = nil // descriptors are pooled; drop the stale refs
+		}
+		buf = buf[:0]
 	}
 	for {
 		select {
@@ -128,12 +174,16 @@ func (b *batcher) loop() {
 			if len(buf) >= b.maxBatch {
 				b.reg.Counter("serve.batch.flush_size").Add(1)
 				flush()
-			} else if timer == nil {
-				timer = time.NewTimer(b.maxDelay)
+			} else if timeout == nil {
+				if timer == nil {
+					timer = time.NewTimer(b.maxDelay)
+				} else {
+					timer.Reset(b.maxDelay)
+				}
 				timeout = timer.C
 			}
 		case <-timeout:
-			timer, timeout = nil, nil
+			timeout = nil
 			b.reg.Counter("serve.batch.flush_delay").Add(1)
 			flush()
 		}
@@ -145,7 +195,10 @@ func (b *batcher) loop() {
 // serves the whole batch, so one tree carries its full breakdown; the
 // other requests' traces keep their queue timing.
 func (b *batcher) runBatch(batch []*priceRequest) {
-	problems := make([]*premia.Problem, len(batch))
+	if cap(b.problems) < len(batch) {
+		b.problems = make([]*premia.Problem, len(batch))
+	}
+	problems := b.problems[:len(batch)]
 	ctx := b.ctx
 	adopted := false
 	for i, r := range batch {
@@ -159,6 +212,12 @@ func (b *batcher) runBatch(batch []*priceRequest) {
 		}
 	}
 	out, err := b.price(ctx, problems)
+	if err == nil && len(out) != len(batch) {
+		// A misbehaving PriceFunc must not panic the batcher goroutine —
+		// that would strand every waiter in this and all later batches.
+		// Surface the mismatch as a batch-level error instead.
+		err = fmt.Errorf("serve: price returned %d outcomes for %d problems", len(out), len(batch))
+	}
 	for i, r := range batch {
 		r.span.End()
 		if err != nil {

@@ -127,6 +127,38 @@ func TestBatcherQueueFull(t *testing.T) {
 	}
 }
 
+// TestBatcherShortPriceSlice feeds the batcher a PriceFunc that returns
+// fewer outcomes than problems. Pre-fix the out-of-range index panicked
+// the batcher goroutine, stranding every queued request; now the whole
+// batch fails with a batch-level error and the loop keeps serving.
+func TestBatcherShortPriceSlice(t *testing.T) {
+	price := func(ctx context.Context, problems []*premia.Problem) ([]risk.PriceOutcome, error) {
+		return make([]risk.PriceOutcome, len(problems)-1), nil
+	}
+	b := newBatcher(context.Background(), price, 2, time.Hour, 64, telemetry.New())
+	defer b.close()
+	for round := 0; round < 2; round++ {
+		reqs := make([]*priceRequest, 2)
+		for i := range reqs {
+			reqs[i] = &priceRequest{problem: batchProblem(float64(90 + i)), done: make(chan priceResponse, 1)}
+			if !b.submit(reqs[i]) {
+				t.Fatalf("round %d: submit %d rejected", round, i)
+			}
+		}
+		for i, r := range reqs {
+			select {
+			case resp := <-r.done:
+				if resp.err == nil {
+					t.Fatalf("round %d request %d: want error for short outcome slice", round, i)
+				}
+			case <-time.After(5 * time.Second):
+				// Round 2 hanging would mean the loop goroutine died on round 1.
+				t.Fatalf("round %d request %d never answered", round, i)
+			}
+		}
+	}
+}
+
 func TestBatcherCloseFlushesRemainder(t *testing.T) {
 	var mu sync.Mutex
 	var sizes []int

@@ -23,15 +23,15 @@ const DefaultCacheSize = 4096
 // mutex-guarded LRU list, so concurrent readers on different shards
 // never contend. It implements risk.PriceCache.
 type Cache struct {
-	reg      *telemetry.Registry
-	shards   [cacheShards]cacheShard
-	perShard int
+	reg    *telemetry.Registry
+	shards [cacheShards]cacheShard
 }
 
 type cacheShard struct {
-	mu      sync.Mutex
-	entries map[string]*list.Element
-	lru     *list.List // front = most recently used
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	capacity int
 }
 
 type cacheEntry struct {
@@ -41,14 +41,22 @@ type cacheEntry struct {
 
 // NewCache returns a cache holding at most capacity entries in total
 // (DefaultCacheSize when capacity <= 0), reporting hit/miss/eviction
-// telemetry to reg (nil disables telemetry, not the cache).
+// telemetry to reg (nil disables telemetry, not the cache). The
+// capacity is split over the shards with the remainder spread one entry
+// each over the first capacity%cacheShards shards, so the per-shard
+// budgets sum exactly to the requested total — a ceil division here
+// would let the cache overshoot by up to cacheShards-1 entries.
 func NewCache(capacity int, reg *telemetry.Registry) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	perShard := (capacity + cacheShards - 1) / cacheShards
-	c := &Cache{reg: reg, perShard: perShard}
+	base, rem := capacity/cacheShards, capacity%cacheShards
+	c := &Cache{reg: reg}
 	for i := range c.shards {
+		c.shards[i].capacity = base
+		if i < rem {
+			c.shards[i].capacity++
+		}
 		c.shards[i].entries = make(map[string]*list.Element)
 		c.shards[i].lru = list.New()
 	}
@@ -97,7 +105,7 @@ func (c *Cache) Put(key string, res premia.Result) {
 		return
 	}
 	s.entries[key] = s.lru.PushFront(&cacheEntry{key: key, res: res})
-	for s.lru.Len() > c.perShard {
+	for s.lru.Len() > s.capacity {
 		back := s.lru.Back()
 		s.lru.Remove(back)
 		delete(s.entries, back.Value.(*cacheEntry).key)

@@ -47,6 +47,30 @@ func TestCacheEviction(t *testing.T) {
 	}
 }
 
+// TestCacheCapacityInvariant overfills caches of sizes that do not
+// divide evenly by the shard count and checks the total never exceeds
+// the requested capacity. The pre-fix ceil division handed every shard
+// ⌈capacity/16⌉ entries, overshooting by up to 15 (a NewCache(1) held
+// 16 entries).
+func TestCacheCapacityInvariant(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 5, 15, 16, 17, 30, 31, 33, 47, 100, 255, 1000, 1023} {
+		c := NewCache(capacity, nil)
+		total := 0
+		for i := range c.shards {
+			total += c.shards[i].capacity
+		}
+		if total != capacity {
+			t.Errorf("capacity %d: shard budgets sum to %d", capacity, total)
+		}
+		for i := 0; i < 3*capacity+17; i++ {
+			c.Put(fmt.Sprintf("cap%d-key-%d", capacity, i), premia.Result{Price: float64(i)})
+		}
+		if got := c.Len(); got > capacity {
+			t.Errorf("capacity %d: cache holds %d entries after overfill", capacity, got)
+		}
+	}
+}
+
 func TestCacheLRURecency(t *testing.T) {
 	c := NewCache(cacheShards, nil) // 1 entry per shard
 	// Find two keys landing on the same shard.

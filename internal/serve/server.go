@@ -195,7 +195,7 @@ func (s *Server) priceProblem(ctx context.Context, p *premia.Problem, wait bool)
 			return risk.PriceOutcome{}, ctx.Err()
 		}
 	}
-	req := &priceRequest{problem: p, done: make(chan priceResponse, 1)}
+	req := newPriceRequest(p)
 	if !s.cfg.DisableTracing {
 		// Each flight leader roots one distributed trace; the batcher ends
 		// the queue span at flush and prices the whole batch under the
@@ -208,18 +208,21 @@ func (s *Server) priceProblem(ctx context.Context, p *premia.Problem, wait bool)
 		if err := s.batch.submitWait(ctx, req); err != nil {
 			req.queue.End()
 			req.span.End()
+			req.release() // never enqueued: no response will arrive
 			s.flight.finish(key, call, flightResult{err: err})
 			return risk.PriceOutcome{}, err
 		}
 	} else if !s.batch.submit(req) {
 		req.queue.End()
 		req.span.End()
+		req.release() // never enqueued: no response will arrive
 		s.reg.Counter("serve.rejected.queue").Add(1)
 		s.flight.finish(key, call, flightResult{err: ErrOverloaded})
 		return risk.PriceOutcome{}, ErrOverloaded
 	}
 	select {
 	case resp := <-req.done:
+		req.release()
 		return s.settle(key, call, resp)
 	case <-ctx.Done():
 		// The leader's deadline expired but the batch is still pricing.
@@ -227,6 +230,7 @@ func (s *Server) priceProblem(ctx context.Context, p *premia.Problem, wait bool)
 		// result still lands in the cache — the work is not wasted.
 		go func() {
 			resp := <-req.done
+			req.release()
 			s.settle(key, call, resp)
 		}()
 		return risk.PriceOutcome{}, ctx.Err()

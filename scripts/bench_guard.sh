@@ -1,13 +1,15 @@
 #!/bin/sh
 # bench_guard.sh — allocation-regression gate.
 #
-# Re-runs the allocation-critical mpi benchmarks with -benchmem and
-# compares bytes/op and allocs/op against the budgets recorded in
-# BENCH_alloc.json. allocs/op must not exceed its budget at all (the
-# codec paths are engineered to zero); bytes/op gets 25% + 16B headroom
-# for size-class noise. Any regression fails the build — that is the
-# point: the zero-alloc hot path stays zero-alloc by machine check, not
-# by reviewer memory.
+# Re-runs the allocation-critical benchmarks with -benchmem and compares
+# bytes/op and allocs/op against the budgets recorded in
+# BENCH_alloc.json: the mpi codec paths (engineered to zero allocs), the
+# served-request path (pooled descriptors + object passthrough), and the
+# Monte Carlo kernel path (pooled arenas + struct-of-arrays buffers).
+# allocs/op must not exceed its budget at all; bytes/op gets 25% + 16B
+# headroom for size-class noise. Any regression fails the build — that
+# is the point: the allocation-free hot paths stay that way by machine
+# check, not by reviewer memory.
 #
 # Usage: sh scripts/bench_guard.sh  (or: make benchguard)
 set -eu
@@ -15,8 +17,16 @@ cd "$(dirname "$0")/.."
 
 BUDGETS=BENCH_alloc.json
 BENCHTIME="${BENCHTIME:-1000x}"
+# The serve benchmark coalesces concurrent requests, so it needs enough
+# iterations to settle; the kernel benchmark prices 2M paths per op, so
+# a handful of iterations is already seconds of work.
+SERVE_BENCHTIME="${SERVE_BENCHTIME:-300x}"
+KERNEL_BENCHTIME="${KERNEL_BENCHTIME:-5x}"
 
 out=$(go test -bench 'BenchmarkFrameCodec|BenchmarkHubRoundTrip' -benchmem -benchtime "$BENCHTIME" -run '^$' ./internal/mpi)
+out="$out
+$(go test -bench 'BenchmarkServeTracing' -benchmem -benchtime "$SERVE_BENCHTIME" -run '^$' ./internal/serve)
+$(go test -bench 'BenchmarkKernelMCEuro/threads=1$' -benchmem -benchtime "$KERNEL_BENCHTIME" -run '^$' ./internal/premia)"
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk -v budgets="$BUDGETS" '
