@@ -39,7 +39,7 @@ wireshape:
 # test, and the simulated scheduler (simnet) plus the portfolio
 # calibrator that drives it.
 race:
-	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia ./internal/risk ./internal/serve ./internal/simnet ./internal/portfolio
+	$(GO) test -race ./internal/farm ./internal/mpi ./internal/telemetry ./internal/premia ./internal/risk ./internal/serve ./internal/simnet ./internal/portfolio ./internal/var
 
 check: build vet lint test race
 
@@ -71,3 +71,4 @@ bench:
 	$(GO) test -bench 'BenchmarkTable|BenchmarkAblation' -benchtime 1x .
 	$(GO) test -bench 'BenchmarkKernel' -benchtime 1x ./internal/premia
 	$(GO) test -bench 'BenchmarkServeBatching' -benchtime 1x ./internal/serve
+	$(GO) test -bench 'BenchmarkVaRDeltaGamma' -benchtime 1x ./internal/var

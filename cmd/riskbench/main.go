@@ -15,6 +15,18 @@
 //
 //	riskbench -live -portfolio toy -n 2000 -workers 8 -strategy serialized
 //
+// Run a VaR preset end to end over the (effort-scaled) 7931-claim
+// realistic book — full revaluation and delta–gamma, with a
+// cross-thread bit-identity verification pass:
+//
+//	riskbench -var small
+//	riskbench -var large -varmethod deltagamma
+//
+// Simulate the nested outer×inner VaR workload on the simnet cluster
+// (flat Robin-Hood sweep plus a hierarchical root-master row):
+//
+//	riskbench -var medium -varsim
+//
 // List the registered pricing methods:
 //
 //	riskbench -methods
@@ -53,6 +65,10 @@ func main() {
 		stratName = flag.String("strategy", "serialized", "communication strategy: full | nfs | serialized")
 		batch     = flag.Int("batch", 1, "tasks per message batch")
 		transport = flag.String("transport", "local", "live worker transport: local (in-process goroutines) or a framed mpi transport (tcp | unix | inproc)")
+		varName   = flag.String("var", "", "run a VaR preset (small | medium | large) over the scaled realistic book")
+		varMethod = flag.String("varmethod", "both", "VaR estimator: full | deltagamma | both")
+		varSim    = flag.Bool("varsim", false, "simulate the nested outer×inner VaR workload on the simnet cluster (-var selects the preset)")
+		noVerify  = flag.Bool("noverify", false, "skip the VaR cross-thread bit-identity verification pass")
 		methods   = flag.Bool("methods", false, "list registered pricing methods and exit")
 		util      = flag.Bool("utilization", false, "report worker utilization across CPU counts on the simulator")
 		selftest  = flag.Bool("selftest", false, "run the §4.1 non-regression suite live and report per-method results")
@@ -116,6 +132,14 @@ func main() {
 		}
 		spec.MaxCPUs = *maxCPUs
 		runTable(ctx, spec, *calibrate, reg)
+	case *varSim:
+		name := *varName
+		if name == "" {
+			name = "small"
+		}
+		runVarSim(ctx, name, *batch)
+	case *varName != "":
+		runVar(ctx, *varName, *varMethod, *workers, !*noVerify, reg)
 	case *live:
 		runLive(ctx, *pfName, *n, *workers, *stratName, *transport, *batch, reg)
 	default:

@@ -17,6 +17,17 @@
 //
 //	curl -s localhost:8080/batch -d '{"problems":[...]}'
 //
+// Risk analytics (VaR/CVaR over a scenario set; see GET /risk for the
+// request shapes):
+//
+//	curl -s localhost:8080/risk/report -d '{"portfolio":{"name":"toy"},
+//	  "scenarios":{"mode":"mc","n":256},"alphas":[0.95,0.99]}'
+//
+//	# streaming watch mode: one NDJSON line per round, with limit
+//	# utilization graded into normal/warning/critical levels
+//	curl -sN localhost:8080/risk/watch -d '{"portfolio":{"name":"toy"},
+//	  "scenarios":{"mode":"mc","n":256},"limits":{"var":50},"rounds":5}'
+//
 // Health, metrics and traces:
 //
 //	curl -s localhost:8080/healthz

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"riskbench/internal/farm"
+)
+
+// NestedRow is one CPU count's measurement of the nested-simulation
+// (outer scenarios × inner repricings) VaR workload on the simulator.
+type NestedRow struct {
+	// CPUs is the simulated node count (1 master + workers, or
+	// 1 root + sub-masters + workers for the hierarchical row).
+	CPUs int
+	// Scheduler ran the row (RobinHood or Hierarchical).
+	Scheduler Scheduler
+	// Seconds is the virtual makespan.
+	Seconds float64
+	// Ratio is the paper's efficiency ratio T(2)/((n−1)·T(n)), measured
+	// against the flat 2-CPU baseline.
+	Ratio float64
+	// TasksPerSec is inner repricings per virtual second.
+	TasksPerSec float64
+}
+
+// RunNestedSweep sweeps the flat Robin-Hood scheduler over cpuCounts on
+// the nested task batch (varisk.SimTasks output), then adds one
+// hierarchical row at the largest CPU count with hierGroups sub-masters
+// (skipped when hierGroups <= 0) — the RunRootMaster-at-scale data
+// point. The serialized-load strategy is used throughout, matching the
+// live engine's default.
+func RunNestedSweep(ctx context.Context, tasks []farm.Task, cpuCounts []int, batch, hierGroups, hierChunk int) ([]NestedRow, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("bench: nested sweep needs tasks")
+	}
+	if len(cpuCounts) == 0 {
+		return nil, fmt.Errorf("bench: nested sweep needs CPU counts")
+	}
+	var rows []NestedRow
+	baseline := 0.0
+	for _, cpus := range cpuCounts {
+		t, err := Run(ctx, RunConfig{Tasks: tasks, CPUs: cpus, Strategy: farm.SerializedLoad, BatchSize: batch})
+		if err != nil {
+			return nil, fmt.Errorf("bench: nested sweep at %d CPUs: %w", cpus, err)
+		}
+		if baseline == 0 {
+			baseline = t
+		}
+		rows = append(rows, nestedRow(cpus, RobinHood, t, baseline, len(tasks)))
+	}
+	if hierGroups > 0 {
+		cpus := cpuCounts[len(cpuCounts)-1]
+		t, err := Run(ctx, RunConfig{
+			Tasks: tasks, CPUs: cpus, Strategy: farm.SerializedLoad, BatchSize: batch,
+			Scheduler: Hierarchical, Groups: hierGroups, Chunk: hierChunk,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: nested hierarchical at %d CPUs: %w", cpus, err)
+		}
+		rows = append(rows, nestedRow(cpus, Hierarchical, t, baseline, len(tasks)))
+	}
+	return rows, nil
+}
+
+func nestedRow(cpus int, sched Scheduler, t, baseline float64, tasks int) NestedRow {
+	row := NestedRow{CPUs: cpus, Scheduler: sched, Seconds: t}
+	if t > 0 {
+		row.TasksPerSec = float64(tasks) / t
+		if cpus > 1 {
+			row.Ratio = baseline / (float64(cpus-1) * t)
+		}
+	}
+	return row
+}
+
+// FormatNestedRows renders a nested sweep in the style of the paper's
+// tables.
+func FormatNestedRows(title string, rows []NestedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%8s %14s %12s %8s %14s\n", "CPUs", "scheduler", "Time (s)", "Ratio", "tasks/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %14s %12.3f %8.3f %14.1f\n", r.CPUs, r.Scheduler, r.Seconds, r.Ratio, r.TasksPerSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"riskbench/internal/portfolio"
+	varisk "riskbench/internal/var"
+)
+
+// TestNestedSweepShape runs the real nested VaR workload — outer
+// scenarios × the toy book — through the simulator at a few CPU counts
+// and checks the table's invariants: a row per CPU count plus the
+// hierarchical row, near-linear efficiency in the small-cluster regime,
+// and a makespan that shrinks as CPUs are added.
+func TestNestedSweepShape(t *testing.T) {
+	pf := portfolio.Toy(40)
+	tasks, err := varisk.SimTasks(pf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunNestedSweep(context.Background(), tasks, []int{2, 4, 8}, 4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 3 flat + 1 hierarchical", len(rows))
+	}
+	if rows[3].Scheduler != Hierarchical || rows[3].CPUs != 8 {
+		t.Fatalf("last row %+v, want hierarchical at 8 CPUs", rows[3])
+	}
+	if rows[0].Ratio != 1 {
+		t.Errorf("baseline ratio %v, want 1 (measured against itself)", rows[0].Ratio)
+	}
+	for i := 1; i < 3; i++ {
+		if rows[i].Seconds >= rows[i-1].Seconds {
+			t.Errorf("makespan grew from %v to %v at %d CPUs", rows[i-1].Seconds, rows[i].Seconds, rows[i].CPUs)
+		}
+		if rows[i].Ratio < 0.5 || rows[i].Ratio > 1.1 {
+			t.Errorf("ratio %v at %d CPUs out of range", rows[i].Ratio, rows[i].CPUs)
+		}
+	}
+	out := FormatNestedRows("t", rows)
+	if !strings.Contains(out, "Ratio") || !strings.Contains(out, "tasks/s") {
+		t.Errorf("table missing headers:\n%s", out)
+	}
+}
+
+func TestNestedSweepRejectsEmpty(t *testing.T) {
+	if _, err := RunNestedSweep(context.Background(), nil, []int{2}, 1, 0, 0); err == nil {
+		t.Error("empty task batch accepted")
+	}
+	tasks, err := varisk.SimTasks(portfolio.Toy(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNestedSweep(context.Background(), tasks, nil, 1, 0, 0); err == nil {
+		t.Error("empty CPU list accepted")
+	}
+}

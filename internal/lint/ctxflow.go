@@ -28,6 +28,7 @@ var Ctxflow = &Analyzer{
 		"internal/farm",
 		"internal/risk",
 		"internal/serve",
+		"internal/var",
 	),
 	Run: runCtxflow,
 }

@@ -28,6 +28,7 @@ var Detrand = &Analyzer{
 		"internal/risk",
 		"internal/portfolio",
 		"internal/simnet",
+		"internal/var",
 	),
 	Run: runDetrand,
 }

@@ -26,6 +26,7 @@ var Wallclock = &Analyzer{
 		"internal/mpi",
 		"internal/serve",
 		"internal/portfolio",
+		"internal/var",
 	),
 	Run: runWallclock,
 }

@@ -1,0 +1,58 @@
+package portfolio
+
+import (
+	"fmt"
+	"math"
+)
+
+// effortFloors are the per-parameter lower bounds ScaleEffort respects:
+// below these the numerical methods stop being meaningful (an LSM
+// regression needs enough paths to fit its basis, a PDE needs a few
+// time steps to be stable).
+var effortFloors = []struct {
+	key   string
+	floor float64
+}{
+	{"paths", 512},
+	{"steps", 16},
+	{"mcsteps", 8},
+}
+
+// ScaleEffort scales the portfolio's numerical-effort parameters (the
+// same paths/steps/mcsteps axes CalibrateCosts shrinks) by factor, in
+// place, flooring each at its method-validity minimum. The claim count,
+// model mix and relative cost structure — what the farm scheduler sees
+// — are preserved; only the per-task arithmetic shrinks. Virtual costs
+// are rescaled by each claim's achieved shrink so simulated and live
+// scheduling stay consistent. This is how the live VaR presets run the
+// full 7931-claim realistic book in minutes instead of hours.
+func (pf *Portfolio) ScaleEffort(factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("portfolio: effort factor must be in (0,1], got %v", factor)
+	}
+	for i := range pf.Items {
+		it := &pf.Items[i]
+		achieved := 1.0
+		for _, ef := range effortFloors {
+			v, ok := it.Problem.Params[ef.key]
+			if !ok {
+				continue
+			}
+			nv := math.Round(v * factor)
+			if nv < ef.floor {
+				nv = ef.floor
+			}
+			if nv < v {
+				achieved *= nv / v
+				it.Problem.Set(ef.key, nv)
+			}
+		}
+		if achieved < 1 {
+			it.Cost *= achieved
+			if it.Cost < 1e-6 {
+				it.Cost = 1e-6
+			}
+		}
+	}
+	return nil
+}

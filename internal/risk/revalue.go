@@ -68,6 +68,15 @@ func (e Engine) batch() int {
 }
 
 // Valuation holds the revaluation surface of one Engine.Revalue call.
+//
+// Indexing convention: the surface is Values[s][i] where s indexes
+// Scenarios (0-based, the implicit base scenario is NOT a row — it
+// lives in Base) and i indexes Items/Base in portfolio order. On the
+// farm wire the same pair is encoded in the task name "s%03d/<item>"
+// with s001 = Scenarios[0] and s000 = the base scenario, so wire index
+// s maps to surface row s-1. Claims outside a scenario's risk-factor
+// universe hold their base value in that row. Callers should use the
+// Item* accessors rather than recomputing these offsets by hand.
 type Valuation struct {
 	// Items are the claim names, in portfolio order.
 	Items []string
@@ -77,6 +86,42 @@ type Valuation struct {
 	Base []float64
 	// Values[s][i] is claim i's value under scenario s.
 	Values [][]float64
+	// BaseDelta[i] is claim i's base-scenario spot delta when the pricer
+	// reported one (BaseHasDelta[i]); closed-form methods ship it over
+	// the wire in the "delta"/"hasdelta" result fields, and cached base
+	// results carry it too. Claims without a delta hold zero.
+	BaseDelta []float64
+	// BaseHasDelta marks which BaseDelta entries are real sensitivities
+	// rather than absent ones.
+	BaseHasDelta []bool
+}
+
+// ItemIndex returns the surface column of the named claim (the i of
+// Values[s][i] and Base[i]), or -1 when the valuation has no such claim.
+func (v *Valuation) ItemIndex(name string) int {
+	for i, it := range v.Items {
+		if it == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ItemPnL returns claim i's profit-and-loss under scenario s relative
+// to its base value: Values[s][i] - Base[i].
+func (v *Valuation) ItemPnL(s, i int) float64 {
+	return v.Values[s][i] - v.Base[i]
+}
+
+// ItemPnLs returns claim i's P&L across every scenario, in scenario
+// order — the per-position column the component-VaR attribution in
+// internal/var consumes.
+func (v *Valuation) ItemPnLs(i int) []float64 {
+	out := make([]float64, len(v.Scenarios))
+	for s := range v.Scenarios {
+		out[s] = v.ItemPnL(s, i)
+	}
+	return out
 }
 
 // TotalBase returns the base portfolio value.
@@ -156,10 +201,12 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 	}
 	defer revSpan.End()
 	val := &Valuation{
-		Scenarios: scenarios,
-		Items:     make([]string, len(pf.Items)),
-		Base:      make([]float64, len(pf.Items)),
-		Values:    make([][]float64, len(scenarios)),
+		Scenarios:    scenarios,
+		Items:        make([]string, len(pf.Items)),
+		Base:         make([]float64, len(pf.Items)),
+		Values:       make([][]float64, len(scenarios)),
+		BaseDelta:    make([]float64, len(pf.Items)),
+		BaseHasDelta: make([]bool, len(pf.Items)),
 	}
 	index := make(map[string]int, len(pf.Items))
 	for i, it := range pf.Items {
@@ -206,6 +253,8 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 			baseKey[i] = it.Problem.ContentKey()
 			if res, ok := e.Cache.Get(baseKey[i]); ok {
 				val.Base[i] = res.Price
+				val.BaseDelta[i] = res.Delta
+				val.BaseHasDelta[i] = res.HasDelta
 				reg.Counter("risk.base_cache_hits").Add(1)
 				baseKey[i] = "" // nothing to store back
 				cachedBase = true
@@ -263,7 +312,10 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 		}
 		var scIdx int
 		var item string
-		if _, err := fmt.Sscanf(r.Name, "s%03d/", &scIdx); err != nil {
+		// Scan with %d, not the generator's %03d: in a scan the width is a
+		// maximum, and a zero-padded minimum width grows past three digits
+		// from scenario 1000 on.
+		if _, err := fmt.Sscanf(r.Name, "s%d/", &scIdx); err != nil {
 			return nil, fmt.Errorf("risk: malformed result name %q", r.Name)
 		}
 		slash := strings.IndexByte(r.Name, '/')
@@ -288,6 +340,12 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 		}
 		if scIdx == 0 {
 			val.Base[i] = price
+			if hd, ok := farm.ResultField(r, "hasdelta"); ok && hd != 0 {
+				if d, ok := farm.ResultField(r, "delta"); ok {
+					val.BaseDelta[i] = d
+					val.BaseHasDelta[i] = true
+				}
+			}
 			if e.Cache != nil && baseKey[i] != "" {
 				if res, err := resultFromFarm(r); err == nil {
 					e.Cache.Put(baseKey[i], res)

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
+)
+
+func riskServer() *Server {
+	return New(Config{Engine: &risk.Engine{Workers: 4}, MaxDelay: time.Millisecond, Telemetry: telemetry.New()})
+}
+
+func TestRiskIndex(t *testing.T) {
+	s := riskServer()
+	defer s.Close()
+	w := getPath(s, "/risk")
+	if w.Code != 200 {
+		t.Fatalf("GET /risk = %d: %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "/risk/report") || !strings.Contains(w.Body.String(), "/risk/watch") {
+		t.Errorf("index does not describe the endpoint family: %s", w.Body)
+	}
+}
+
+func TestRiskReportDeltaGamma(t *testing.T) {
+	s := riskServer()
+	defer s.Close()
+	w := postJSON(s, "/risk/report", `{"portfolio":{"name":"toy","n":16},
+		"scenarios":{"mode":"mc","n":128,"seed":7},"alphas":[0.95,0.99]}`)
+	if w.Code != 200 {
+		t.Fatalf("report = %d: %s", w.Code, w.Body)
+	}
+	var rep struct {
+		Method    string  `json:"method"`
+		BaseValue float64 `json:"base_value"`
+		Scenarios int     `json:"scenarios"`
+		Estimates []struct {
+			Alpha, VaR, CVaR float64
+		} `json:"estimates"`
+		Components []struct {
+			Name         string
+			Contribution float64
+		} `json:"components"`
+		WireDeltas int `json:"wire_deltas"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "deltagamma" || rep.Scenarios != 128 || rep.BaseValue <= 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if len(rep.Estimates) != 2 || rep.Estimates[0].Alpha != 0.95 {
+		t.Fatalf("estimates %+v", rep.Estimates)
+	}
+	for _, e := range rep.Estimates {
+		if e.CVaR < e.VaR {
+			t.Errorf("CVaR %v below VaR %v at %v", e.CVaR, e.VaR, e.Alpha)
+		}
+	}
+	if len(rep.Components) == 0 {
+		t.Error("no component attribution")
+	}
+
+	// Determinism through the wire: the same request reports the same
+	// numbers bit for bit.
+	w2 := postJSON(s, "/risk/report", `{"portfolio":{"name":"toy","n":16},
+		"scenarios":{"mode":"mc","n":128,"seed":7},"alphas":[0.95,0.99]}`)
+	var rep2 struct {
+		Estimates []struct{ Alpha, VaR, CVaR float64 } `json:"estimates"`
+	}
+	if err := json.Unmarshal(w2.Body.Bytes(), &rep2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Estimates {
+		if rep.Estimates[i].VaR != rep2.Estimates[i].VaR {
+			t.Errorf("repeat request changed VaR: %v vs %v", rep.Estimates[i].VaR, rep2.Estimates[i].VaR)
+		}
+	}
+}
+
+func TestRiskReportFullRevaluation(t *testing.T) {
+	s := riskServer()
+	defer s.Close()
+	w := postJSON(s, "/risk/report", `{"portfolio":{"name":"toy","n":8},
+		"scenarios":{"mode":"grid"},"method":"full","alphas":[0.9]}`)
+	if w.Code != 200 {
+		t.Fatalf("full report = %d: %s", w.Code, w.Body)
+	}
+	var rep struct {
+		Method    string `json:"method"`
+		Scenarios int    `json:"scenarios"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "full" || rep.Scenarios != 46 {
+		t.Fatalf("report %+v, want full over the 46-scenario grid", rep)
+	}
+}
+
+func TestRiskReportBadRequests(t *testing.T) {
+	s := riskServer()
+	defer s.Close()
+	for name, body := range map[string]string{
+		"bad json":       `{`,
+		"bad portfolio":  `{"portfolio":{"name":"nope"}}`,
+		"bad method":     `{"method":"quantum"}`,
+		"bad mode":       `{"scenarios":{"mode":"astrology"}}`,
+		"over task cap":  `{"portfolio":{"name":"toy","n":4096},"scenarios":{"n":4096},"method":"full"}`,
+		"over scen cap":  `{"scenarios":{"n":100000}}`,
+		"over claim cap": `{"portfolio":{"n":100000}}`,
+	} {
+		if w := postJSON(s, "/risk/report", body); w.Code != 400 {
+			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
+		}
+	}
+}
+
+// TestRiskWatchStreamsBreaches drives the streaming watch with a limit
+// the book is guaranteed to breach and checks the NDJSON stream: one
+// event per round, graded critical/halt, with the VaR breach itemized.
+func TestRiskWatchStreamsBreaches(t *testing.T) {
+	s := riskServer()
+	defer s.Close()
+	w := postJSON(s, "/risk/watch", `{"portfolio":{"name":"toy","n":8},
+		"scenarios":{"mode":"mc","n":64,"seed":3},"alphas":[0.99],
+		"limits":{"var":1e-9},"rounds":3}`)
+	if w.Code != 200 {
+		t.Fatalf("watch = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("Content-Type %q, want NDJSON", ct)
+	}
+	type watchBreach struct {
+		Metric      string  `json:"metric"`
+		Utilization float64 `json:"utilization"`
+		Action      string  `json:"action"`
+	}
+	type watchEvent struct {
+		Round    int           `json:"round"`
+		VaR      float64       `json:"var"`
+		Level    string        `json:"level"`
+		Action   string        `json:"action"`
+		Breaches []watchBreach `json:"breaches"`
+		Error    string        `json:"error"`
+	}
+	var events []watchEvent
+	sc := bufio.NewScanner(w.Body)
+	for sc.Scan() {
+		var ev watchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3 rounds", len(events))
+	}
+	for i, ev := range events {
+		if ev.Error != "" {
+			t.Fatalf("round %d errored: %s", ev.Round, ev.Error)
+		}
+		if ev.Round != i+1 || ev.VaR <= 0 {
+			t.Fatalf("event %d ill-formed: %+v", i, ev)
+		}
+		if ev.Level != "critical" || ev.Action != "halt" {
+			t.Errorf("round %d level/action = %s/%s, want critical/halt", ev.Round, ev.Level, ev.Action)
+		}
+		if len(ev.Breaches) != 1 || ev.Breaches[0].Metric != "var" || ev.Breaches[0].Utilization < 1 {
+			t.Errorf("round %d breaches %+v, want one var breach", ev.Round, ev.Breaches)
+		}
+	}
+	// Each round draws at seed+round, so consecutive rounds see different
+	// scenario sets and (almost surely) different VaR numbers.
+	if events[0].VaR == events[1].VaR {
+		t.Error("rounds 1 and 2 report identical VaR; seed does not advance")
+	}
+}
+
+// TestRiskWatchNoLimits: an unlimited watch still streams estimates,
+// all graded normal.
+func TestRiskWatchNoLimits(t *testing.T) {
+	s := riskServer()
+	defer s.Close()
+	w := postJSON(s, "/risk/watch", `{"portfolio":{"name":"toy","n":4},
+		"scenarios":{"n":32},"rounds":2}`)
+	if w.Code != 200 {
+		t.Fatalf("watch = %d: %s", w.Code, w.Body)
+	}
+	lines := strings.Count(strings.TrimSpace(w.Body.String()), "\n") + 1
+	if lines != 2 {
+		t.Fatalf("%d lines, want 2", lines)
+	}
+	if strings.Contains(w.Body.String(), "critical") {
+		t.Error("unlimited watch reported a breach")
+	}
+}
+
+// TestRiskMetrics: the serve.risk.* counters move when reports run.
+func TestRiskMetrics(t *testing.T) {
+	reg := telemetry.New()
+	s := New(Config{Engine: &risk.Engine{Workers: 2}, MaxDelay: time.Millisecond, Telemetry: reg})
+	defer s.Close()
+	if w := postJSON(s, "/risk/report", `{"portfolio":{"n":4},"scenarios":{"n":16}}`); w.Code != 200 {
+		t.Fatalf("report = %d: %s", w.Code, w.Body)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["serve.risk.reports"] != 1 {
+		t.Errorf("serve.risk.reports = %d, want 1", snap.Counters["serve.risk.reports"])
+	}
+	if snap.Counters["serve.risk.scenarios"] != 16 {
+		t.Errorf("serve.risk.scenarios = %d, want 16", snap.Counters["serve.risk.scenarios"])
+	}
+}

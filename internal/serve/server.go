@@ -77,6 +77,7 @@ type Server struct {
 	cache  *Cache // nil when disabled
 	flight flightGroup
 	batch  *batcher
+	engine *risk.Engine // the /risk endpoints' bulk revaluation engine
 	mux    *http.ServeMux
 	cancel context.CancelFunc
 
@@ -123,15 +124,22 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize >= 0 {
 		s.cache = NewCache(cfg.CacheSize, s.reg)
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = &risk.Engine{}
+	}
+	if eng.Telemetry == nil {
+		eng.Telemetry = s.reg
+	}
+	if eng.Cache == nil && s.cache != nil {
+		// The /risk revaluations read base-scenario prices through the
+		// serving cache (and warm it), so a report over a book the /price
+		// path has already touched skips the whole base column.
+		eng.Cache = s.cache
+	}
+	s.engine = eng
 	price := cfg.Price
 	if price == nil {
-		eng := cfg.Engine
-		if eng == nil {
-			eng = &risk.Engine{}
-		}
-		if eng.Telemetry == nil {
-			eng.Telemetry = s.reg
-		}
 		price = eng.PriceBatch
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -140,6 +148,9 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /price", s.handlePrice)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /risk", s.handleRiskIndex)
+	s.mux.HandleFunc("POST /risk/report", s.handleRiskReport)
+	s.mux.HandleFunc("POST /risk/watch", s.handleRiskWatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.reg))
 	s.mux.Handle("GET /metrics.json", telemetry.Handler(s.reg))

@@ -1,0 +1,19 @@
+// Package varisk is the portfolio risk-analytics layer on top of the
+// pricing farm: Monte Carlo market-scenario generation, full-revaluation
+// and delta–gamma VaR/CVaR estimation with per-position attribution, and
+// the nested-simulation (outer scenarios × inner repricing) workload
+// shapes the serving and benchmark layers consume.
+//
+// The package lives in the internal/var directory; the package clause is
+// varisk because "var" is a Go keyword and cannot name a package.
+//
+// The division of labour with internal/risk: risk owns the mechanics of
+// revaluation (scenario application, the farm round trip, the valuation
+// surface), varisk owns the statistics on top of it (which scenarios to
+// generate, how to turn a P&L sample into VaR/CVaR/component numbers,
+// and how to avoid repricing at all via the Taylor expansion). Both
+// estimators are deterministic end to end: scenario draws come from
+// per-index split PCG64 streams, so generation is bit-identical at any
+// thread count, and the farm's prices are thread-invariant by the
+// multicore kernel's shard discipline.
+package varisk

@@ -1,0 +1,122 @@
+package varisk
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"riskbench/internal/farm"
+	"riskbench/internal/mpi"
+	"riskbench/internal/portfolio"
+	"riskbench/internal/risk"
+)
+
+// SimTasks expands the nested-simulation workload — outer market
+// scenarios × inner per-claim repricings — into the one flat farm batch
+// the master actually schedules: outer copies of every claim, named
+// "o%05d/<claim>". This is the simulator-facing shape (the riskbench
+// -varsim sweeps): payload bytes and virtual costs are shared across
+// the outer copies, so a million-task batch costs one serialization
+// pass over the portfolio, not outer of them. The live estimators don't
+// use it — FullReval builds real shifted problems through
+// risk.RevalueContext instead — but the scheduling traffic is
+// identical, which is the point of simulating it.
+func SimTasks(pf *portfolio.Portfolio, outer int) ([]farm.Task, error) {
+	if outer < 1 {
+		return nil, fmt.Errorf("varisk: need at least 1 outer scenario, got %d", outer)
+	}
+	base, err := pf.Tasks()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]farm.Task, 0, outer*len(base))
+	for o := 0; o < outer; o++ {
+		for _, t := range base {
+			out = append(out, farm.Task{
+				Name: fmt.Sprintf("o%05d/%s", o+1, t.Name),
+				Data: t.Data, // shared across outer copies by design
+				Cost: t.Cost,
+			})
+		}
+	}
+	return out, nil
+}
+
+// HierBackend is a risk.FarmBackend that prices each round over the
+// paper's hierarchical topology on an in-process world: a root master
+// (farm.RunRootMaster) hands task chunks to Groups sub-masters, each
+// Robin-Hood-farming its own worker group. Plugging it into
+// risk.Engine.Backend runs the whole VaR revaluation — the outer×inner
+// nested batch included — through the hierarchical path with live
+// pricing, which is how the estimator tests exercise RunRootMaster
+// outside the simulator.
+type HierBackend struct {
+	// Groups is the sub-master count (default 2).
+	Groups int
+	// Chunk is the root→sub-master hand-off size in tasks (default 8).
+	Chunk int
+}
+
+// Run implements risk.FarmBackend. The nw workers are spread over the
+// groups per farm.HierarchyWorkers; nw must be at least Groups so every
+// sub-master has a worker. Cancellation closes the local world, which
+// unblocks every rank.
+func (b HierBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Options, nw int) ([]farm.Result, error) {
+	groups := b.Groups
+	if groups < 1 {
+		groups = 2
+	}
+	chunk := b.Chunk
+	if chunk < 1 {
+		chunk = 8
+	}
+	if nw < groups {
+		nw = groups
+	}
+	size := 1 + groups + nw
+	world := mpi.NewLocalWorld(size)
+	defer world.Close()
+	stopCancel := context.AfterFunc(ctx, func() { world.Close() })
+	defer stopCancel()
+	wopts := opts
+	wopts.LocalSpans = true // all ranks share the engine's registry
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for g := 0; g < groups; g++ {
+		sub := g + 1
+		ws := farm.HierarchyWorkers(size, groups, g)
+		wg.Add(1)
+		go func(sub int, ws []int) {
+			defer wg.Done()
+			errs[sub] = farm.RunSubMaster(world.Comm(sub), ws, wopts)
+		}(sub, ws)
+		for _, wr := range ws {
+			wg.Add(1)
+			go func(rank, master int) {
+				defer wg.Done()
+				ropts := wopts
+				ropts.MasterRank = master
+				errs[rank] = farm.RunWorker(world.Comm(rank), farm.LiveExecutor{}, nil, ropts)
+			}(wr, sub)
+		}
+	}
+	results, err := farm.RunRootMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts, groups, chunk)
+	if err != nil {
+		if ctx.Err() != nil {
+			world.Close() // unblock any ranks still waiting
+			wg.Wait()
+			return nil, err
+		}
+		return nil, err
+	}
+	wg.Wait()
+	for rank, rerr := range errs {
+		if rerr != nil {
+			return nil, fmt.Errorf("varisk: hier rank %d: %w", rank, rerr)
+		}
+	}
+	return results, nil
+}
+
+// assert the seam at compile time.
+var _ risk.FarmBackend = HierBackend{}

@@ -1,0 +1,134 @@
+package varisk
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"riskbench/internal/risk"
+	"riskbench/internal/telemetry"
+)
+
+func TestSimTasksShape(t *testing.T) {
+	pf := smallBook()
+	tasks, err := SimTasks(pf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3*pf.Size() {
+		t.Fatalf("%d tasks, want %d", len(tasks), 3*pf.Size())
+	}
+	if !strings.HasPrefix(tasks[0].Name, "o00001/") || !strings.HasPrefix(tasks[2*pf.Size()].Name, "o00003/") {
+		t.Fatalf("task names %q, %q", tasks[0].Name, tasks[2*pf.Size()].Name)
+	}
+	// Payload bytes are shared across outer copies: one serialization
+	// pass builds the million-task batch.
+	if &tasks[0].Data[0] != &tasks[pf.Size()].Data[0] {
+		t.Error("outer copies do not share payload bytes")
+	}
+	if tasks[0].Cost != tasks[pf.Size()].Cost {
+		t.Error("outer copies disagree on cost")
+	}
+	if _, err := SimTasks(pf, 0); err == nil {
+		t.Error("zero outer scenarios accepted")
+	}
+}
+
+// TestHierBackendMatchesLocal runs the same revaluation through the
+// default local backend and through the hierarchical root-master
+// topology; the per-claim surfaces must match bit for bit — scheduling
+// topology must never leak into prices.
+func TestHierBackendMatchesLocal(t *testing.T) {
+	pf := smallBook()
+	scens := risk.SpotLadder()
+	want, err := risk.Engine{Workers: 4}.Revalue(pf, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := risk.Engine{Workers: 4, Backend: HierBackend{Groups: 2, Chunk: 4}}
+	got, err := eng.Revalue(pf, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want.Values {
+		for i := range want.Values[s] {
+			if got.Values[s][i] != want.Values[s][i] {
+				t.Fatalf("value[%d][%d] = %.17g over hierarchy, %.17g locally", s, i, got.Values[s][i], want.Values[s][i])
+			}
+		}
+	}
+	for i := range want.Base {
+		if got.Base[i] != want.Base[i] {
+			t.Fatalf("base[%d] differs across backends", i)
+		}
+	}
+}
+
+// TestFullRevalOverHierBackend is the nested simulation live: the
+// outer×inner batch scheduled by farm.RunRootMaster through sub-master
+// groups, with the estimates matching the flat local run exactly.
+func TestFullRevalOverHierBackend(t *testing.T) {
+	pf := smallBook()
+	scens, err := DefaultMarket().Generate(24, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Alphas: []float64{0.9}, HorizonDays: 10}
+	flat, err := FullReval(context.Background(), risk.Engine{Workers: 4}, pf, scens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := FullReval(context.Background(), risk.Engine{Workers: 4, Backend: HierBackend{Groups: 2, Chunk: 2}}, pf, scens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat.PnLs {
+		if flat.PnLs[i] != hier.PnLs[i] {
+			t.Fatalf("P&L[%d] = %.17g over hierarchy, %.17g flat", i, hier.PnLs[i], flat.PnLs[i])
+		}
+	}
+	if flat.Estimates[0] != hier.Estimates[0] {
+		t.Fatalf("estimates differ: %+v vs %+v", hier.Estimates[0], flat.Estimates[0])
+	}
+}
+
+// TestFullRevalOverNetBackend prices the VaR batch over the framed
+// in-process transport — the same wire path as a real worker fleet.
+func TestFullRevalOverNetBackend(t *testing.T) {
+	pf := smallBook()
+	scens, err := DefaultMarket().Generate(12, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Alphas: []float64{0.9}, HorizonDays: 10}
+	flat, err := FullReval(context.Background(), risk.Engine{Workers: 2}, pf, scens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := risk.Engine{
+		Workers: 2,
+		Backend: &risk.NetBackend{
+			Transport: "inproc",
+			Spawn:     risk.GoNetWorkers(func(int) *telemetry.Registry { return telemetry.New() }, 0),
+		},
+	}
+	net, err := FullReval(context.Background(), eng, pf, scens, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat.PnLs {
+		if flat.PnLs[i] != net.PnLs[i] {
+			t.Fatalf("P&L[%d] differs over the net backend", i)
+		}
+	}
+}
+
+func TestHierBackendCancellation(t *testing.T) {
+	pf := smallBook()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := risk.Engine{Workers: 4, Backend: HierBackend{Groups: 2, Chunk: 2}}
+	if _, err := eng.RevalueContext(ctx, pf, risk.SpotLadder()); err == nil {
+		t.Fatal("cancelled hierarchical revaluation succeeded")
+	}
+}

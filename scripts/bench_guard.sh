@@ -22,11 +22,13 @@ BENCHTIME="${BENCHTIME:-1000x}"
 # a handful of iterations is already seconds of work.
 SERVE_BENCHTIME="${SERVE_BENCHTIME:-300x}"
 KERNEL_BENCHTIME="${KERNEL_BENCHTIME:-5x}"
+VAR_BENCHTIME="${VAR_BENCHTIME:-200x}"
 
 out=$(go test -bench 'BenchmarkFrameCodec|BenchmarkHubRoundTrip' -benchmem -benchtime "$BENCHTIME" -run '^$' ./internal/mpi)
 out="$out
 $(go test -bench 'BenchmarkServeTracing' -benchmem -benchtime "$SERVE_BENCHTIME" -run '^$' ./internal/serve)
-$(go test -bench 'BenchmarkKernelMCEuro/threads=1$' -benchmem -benchtime "$KERNEL_BENCHTIME" -run '^$' ./internal/premia)"
+$(go test -bench 'BenchmarkKernelMCEuro/threads=1$' -benchmem -benchtime "$KERNEL_BENCHTIME" -run '^$' ./internal/premia)
+$(go test -bench 'BenchmarkVaRDeltaGamma$' -benchmem -benchtime "$VAR_BENCHTIME" -run '^$' ./internal/var)"
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk -v budgets="$BUDGETS" '

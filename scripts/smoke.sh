@@ -32,6 +32,10 @@ done
 # and make curl report a spurious write error.
 curl -fsS "http://$ADDR/price" -d '{"model":"BlackScholes1dim","option":"CallEuro","method":"CF_Call","params":{"S0":100,"r":0.05,"sigma":0.2,"K":100,"T":1}}' >"$tmp/price"
 grep -q '"price"' "$tmp/price" || { echo "smoke: /price gave no price" >&2; exit 1; }
+curl -fsS "http://$ADDR/risk" >"$tmp/risk"
+grep -q '/risk/report' "$tmp/risk" || { echo "smoke: /risk does not describe the risk endpoints" >&2; exit 1; }
+curl -fsS "http://$ADDR/risk/report" -d '{"portfolio":{"name":"toy","n":8},"scenarios":{"mode":"mc","n":64},"alphas":[0.99]}' >"$tmp/riskreport"
+grep -q '"cvar"' "$tmp/riskreport" || { echo "smoke: /risk/report gave no VaR/CVaR estimates" >&2; exit 1; }
 curl -fsS "http://$ADDR/metrics" >"$tmp/metrics"
 grep -q '# TYPE ' "$tmp/metrics" || { echo "smoke: /metrics is not Prometheus text" >&2; exit 1; }
 curl -fsS "http://$ADDR/metrics.json" >"$tmp/metrics.json"
@@ -41,4 +45,4 @@ grep -q 'serve.request' "$tmp/traces" || { echo "smoke: /debug/traces shows no s
 curl -fsS "http://$ADDR/debug/pprof/cmdline" >/dev/null || { echo "smoke: /debug/pprof not mounted" >&2; exit 1; }
 curl -fsS "http://$ADDR/healthz" >/dev/null
 
-echo "smoke: price, /metrics, /metrics.json, /debug/traces, /debug/pprof, /healthz all OK"
+echo "smoke: price, /risk, /risk/report, /metrics, /metrics.json, /debug/traces, /debug/pprof, /healthz all OK"
