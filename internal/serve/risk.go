@@ -162,7 +162,9 @@ type riskReportRequest struct {
 	// reprices the book through the farm).
 	Method string `json:"method,omitempty"`
 	// ScaleDays rescales the reported numbers to another horizon by the
-	// square-root-of-time rule.
+	// square-root-of-time rule. It needs a horizon to anchor on: mc mode
+	// defaults to the market calibration's, grid/stress require an
+	// explicit horizon_days (the request is rejected otherwise).
 	ScaleDays float64 `json:"scale_days,omitempty"`
 	// Top bounds the component-attribution rows (default 10).
 	Top int `json:"top,omitempty"`
@@ -281,6 +283,11 @@ func (s *Server) handleRiskReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
+	cfg := q.config()
+	if err := cfg.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	var span *telemetry.Span
@@ -303,7 +310,7 @@ func (s *Server) handleRiskReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Counter("serve.risk.scenarios").Add(int64(len(scens)))
-	rep, _, err := s.estimate(ctx, q.Method, pf, scens, q.config(), nil)
+	rep, _, err := s.estimate(ctx, q.Method, pf, scens, cfg, nil)
 	if err != nil {
 		if ctx.Err() != nil || r.Context().Err() != nil {
 			s.writeError(w, ctx.Err())
@@ -412,6 +419,11 @@ func (s *Server) handleRiskWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg := q.config()
+	if err := cfg.Validate(); err != nil {
+		// Reject before the 200 header commits the NDJSON stream.
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
 	// The stream lives on the client's context (a watch may legitimately
 	// outlast the per-request pricing timeout); each round's pricing
 	// still runs under the configured timeout.

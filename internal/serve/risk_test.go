@@ -114,8 +114,32 @@ func TestRiskReportBadRequests(t *testing.T) {
 		"over task cap":  `{"portfolio":{"name":"toy","n":4096},"scenarios":{"n":4096},"method":"full"}`,
 		"over scen cap":  `{"scenarios":{"n":100000}}`,
 		"over claim cap": `{"portfolio":{"n":100000}}`,
+		// Confidence levels must be strictly in (0,1) — these used to panic
+		// the handler inside risk.VaR instead of 400ing.
+		"alpha above 1":  `{"alphas":[1.5]}`,
+		"alpha at 1":     `{"alphas":[0.95,1]}`,
+		"alpha zero":     `{"alphas":[0]}`,
+		"alpha negative": `{"alphas":[-1]}`,
+		// scale_days needs a horizon to anchor on; grid mode has none
+		// unless horizon_days is set explicitly.
+		"scale sans horizon": `{"scenarios":{"mode":"grid"},"scale_days":10}`,
 	} {
 		if w := postJSON(s, "/risk/report", body); w.Code != 400 {
+			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
+		}
+	}
+}
+
+// TestRiskWatchRejectsBadConfigBeforeStreaming: an invalid confidence
+// level must 400 up front, not abort the NDJSON stream after a 200.
+func TestRiskWatchRejectsBadConfigBeforeStreaming(t *testing.T) {
+	s := riskServer()
+	defer s.Close()
+	for name, body := range map[string]string{
+		"alpha above 1":      `{"portfolio":{"n":4},"scenarios":{"n":16},"alphas":[1.5]}`,
+		"scale sans horizon": `{"portfolio":{"n":4},"scenarios":{"mode":"stress"},"scale_days":5}`,
+	} {
+		if w := postJSON(s, "/risk/watch", body); w.Code != 400 {
 			t.Errorf("%s: status %d, want 400 (%s)", name, w.Code, w.Body)
 		}
 	}

@@ -102,11 +102,11 @@ func (b HierBackend) Run(ctx context.Context, tasks []farm.Task, opts farm.Optio
 	}
 	results, err := farm.RunRootMaster(ctx, world.Comm(0), tasks, farm.LiveLoader{}, opts, groups, chunk)
 	if err != nil {
-		if ctx.Err() != nil {
-			world.Close() // unblock any ranks still waiting
-			wg.Wait()
-			return nil, err
-		}
+		// Whatever the cause, close the world so every rank unblocks, then
+		// wait for them: returning while goroutines may still be writing
+		// errs would leak them past Run.
+		world.Close()
+		wg.Wait()
 		return nil, err
 	}
 	wg.Wait()

@@ -43,6 +43,24 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// Validate rejects configurations the estimators cannot evaluate:
+// confidence levels outside (0,1) — which risk.VaR/ExpectedShortfall
+// would panic on — and a ScaleDays rescaling with no HorizonDays to
+// anchor the square-root-of-time rule (scale() would silently return 1).
+// Both estimators call it on entry, so user-supplied levels surface as
+// errors, not panics.
+func (cfg Config) Validate() error {
+	for _, a := range cfg.Alphas {
+		if !(a > 0 && a < 1) {
+			return fmt.Errorf("varisk: confidence level %v outside (0,1)", a)
+		}
+	}
+	if cfg.ScaleDays > 0 && cfg.HorizonDays <= 0 {
+		return fmt.Errorf("varisk: ScaleDays %g needs HorizonDays > 0 to anchor the square-root-of-time rescaling", cfg.ScaleDays)
+	}
+	return nil
+}
+
 // scale returns the square-root-of-time horizon rescaling factor.
 func (cfg Config) scale() float64 {
 	if cfg.ScaleDays > 0 && cfg.HorizonDays > 0 {
@@ -62,7 +80,10 @@ type Estimate struct {
 // Component is one claim's share of the tail loss: the average of its
 // P&L over the CVaR tail scenarios, negated and horizon-scaled. The
 // components of all claims sum to the book CVaR at the attribution
-// level (Euler attribution of expected shortfall).
+// level (Euler attribution of expected shortfall). When the tail's
+// average P&L is a profit, risk.ExpectedShortfall clamps the book CVaR
+// to zero and attribution mirrors the clamp: no components, zero total,
+// so the identity holds there too.
 type Component struct {
 	Name         string
 	Contribution float64
@@ -84,7 +105,8 @@ type Report struct {
 	AttributionAlpha float64
 	// Components are the largest per-claim tail-loss contributions,
 	// descending; ComponentTotal is the sum over ALL claims (= the book
-	// CVaR at AttributionAlpha).
+	// CVaR at AttributionAlpha, both clamped to zero when the tail is
+	// profit-making).
 	Components     []Component
 	ComponentTotal float64
 	// PnLs is the raw scenario P&L sample, in scenario order, unscaled.
@@ -153,6 +175,12 @@ func attribute(names []string, tail []int, itemPnL func(s, i int) float64, cfg C
 		}
 		return comps[a].Name < comps[b].Name
 	})
+	if total <= 0 {
+		// The tail's average book P&L is a profit; the estimators clamp
+		// CVaR to zero there, so there is no tail loss to attribute and
+		// the components-sum-to-CVaR identity keeps holding.
+		return nil, 0
+	}
 	if len(comps) > cfg.TopComponents {
 		comps = comps[:cfg.TopComponents]
 	}
@@ -168,6 +196,9 @@ func attribute(names []string, tail []int, itemPnL func(s, i int) float64, cfg C
 // /debug/traces shows the outer estimation over the inner repricing.
 func FullReval(ctx context.Context, eng risk.Engine, pf *portfolio.Portfolio, scens []risk.Scenario, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	reg := eng.Telemetry
 	var span *telemetry.Span
 	if tc, ok := telemetry.TraceFromContext(ctx); ok {
@@ -311,6 +342,9 @@ func CollectSensitivities(ctx context.Context, eng risk.Engine, pf *portfolio.Po
 // richer needs FullReval.
 func DeltaGamma(sens *Sensitivities, scens []risk.Scenario, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	n := len(sens.Names)
 	var aggA, aggG, aggV, aggR float64
 	wire := 0

@@ -259,6 +259,63 @@ func TestHorizonScaling(t *testing.T) {
 	}
 }
 
+// TestConfigValidate: user-supplied confidence levels surface as errors
+// from both estimators — before any repricing — instead of risk.VaR
+// panics, and a ScaleDays rescaling without a horizon is rejected
+// rather than silently ignored.
+func TestConfigValidate(t *testing.T) {
+	pf := smallBook()
+	eng := risk.Engine{Workers: 2}
+	sens, err := CollectSensitivities(context.Background(), eng, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens := []risk.Scenario{{Name: "s", Shifts: []risk.Shift{{Param: "S0", Rel: -0.01}}}}
+	for _, alphas := range [][]float64{{1.5}, {1}, {0}, {-1}, {0.95, 1}, {math.NaN()}} {
+		if _, err := DeltaGamma(sens, scens, Config{Alphas: alphas}); err == nil {
+			t.Errorf("delta-gamma accepted alphas %v", alphas)
+		}
+		if _, err := FullReval(context.Background(), eng, pf, scens, Config{Alphas: alphas}); err == nil {
+			t.Errorf("full revaluation accepted alphas %v", alphas)
+		}
+	}
+	if _, err := DeltaGamma(sens, scens, Config{ScaleDays: 10}); err == nil {
+		t.Error("ScaleDays without HorizonDays accepted")
+	}
+	if err := (Config{Alphas: []float64{0.95}, HorizonDays: 10, ScaleDays: 20}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestProfitTailClampsAttribution: when every scenario is a gain the
+// estimators clamp VaR/CVaR to zero; attribution mirrors that clamp —
+// no components, zero total — instead of reporting a negative
+// ComponentTotal that the clamped CVaR no longer matches.
+func TestProfitTailClampsAttribution(t *testing.T) {
+	sens, err := CollectSensitivities(context.Background(), risk.Engine{Workers: 2}, smallBook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long call book gains on every up-move, so the whole P&L sample —
+	// the CVaR tail included — is profit.
+	scens := []risk.Scenario{
+		{Name: "up1", Shifts: []risk.Shift{{Param: "S0", Rel: 0.01}}},
+		{Name: "up2", Shifts: []risk.Shift{{Param: "S0", Rel: 0.02}}},
+		{Name: "up5", Shifts: []risk.Shift{{Param: "S0", Rel: 0.05}}},
+	}
+	rep, err := DeltaGamma(sens, scens, Config{Alphas: []float64{0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Estimates[0].CVaR != 0 {
+		t.Fatalf("CVaR = %v, want 0 on an all-profit sample", rep.Estimates[0].CVaR)
+	}
+	if rep.ComponentTotal != 0 || len(rep.Components) != 0 {
+		t.Errorf("attribution total %v over %d rows, want zero/none like the clamped CVaR",
+			rep.ComponentTotal, len(rep.Components))
+	}
+}
+
 func TestPresets(t *testing.T) {
 	for _, name := range []string{"small", "medium", "large"} {
 		p, err := PresetByName(name)
