@@ -28,12 +28,15 @@
 //	curl -sN localhost:8080/risk/watch -d '{"portfolio":{"name":"toy"},
 //	  "scenarios":{"mode":"mc","n":256},"limits":{"var":50},"rounds":5}'
 //
-// Health, metrics and traces:
+// Health, metrics and the flight recorder:
 //
 //	curl -s localhost:8080/healthz
-//	curl -s localhost:8080/metrics        # Prometheus text format
+//	curl -s localhost:8080/metrics        # Prometheus text format (with exemplars)
 //	curl -s localhost:8080/metrics.json   # JSON snapshot
 //	curl -s localhost:8080/debug/traces   # slowest requests as span trees
+//	curl -s 'localhost:8080/debug/events?level=warn'  # structured event log, NDJSON
+//	curl -s localhost:8080/debug/slo      # SLO burn-rate monitor status
+//	curl -s localhost:8080/debug/farm     # per-worker fleet health
 //
 // With -pprof, the standard net/http/pprof profiling handlers are
 // additionally mounted under /debug/pprof/.
@@ -97,6 +100,7 @@ func main() {
 		drainWait   = flag.Duration("drain", 30*time.Second, "max time to drain in-flight work on shutdown")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		noTrace     = flag.Bool("notrace", false, "disable per-request distributed tracing")
+		noEvents    = flag.Bool("noevents", false, "disable serve-side flight-recorder events and SLO monitoring")
 	)
 	flag.Parse()
 
@@ -134,6 +138,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Telemetry:      reg,
 		DisableTracing: *noTrace,
+		DisableEvents:  *noEvents,
 	})
 
 	handler := srv.Handler()

@@ -1,0 +1,244 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+
+	"riskbench/internal/nsp"
+	"riskbench/internal/telemetry"
+)
+
+// Event-payload wire codec. A worker that negotiated the "events"
+// capability appends one extra hash, marked by eventMarker, to its
+// result list, carrying the warning+ flight-recorder events it emitted
+// while pricing the batch plus its descriptor-receive clock reading (so
+// the master can shift worker clocks onto its own, exactly like the
+// span payload). Names and field keys are interned into string tables;
+// IDs travel as split 32-bit halves; field values flatten into parallel
+// arrays with a per-event count, so the payload is a handful of
+// matrices regardless of event shape.
+const (
+	eventMarker   = "__events"
+	eventLevels   = "levels"  // 1xn severity ordinals
+	eventNames    = "names"   // intern table: distinct event names
+	eventNameIx   = "nameix"  // per-event index into the name table
+	eventTraces   = "traces"  // 1x2n matrix of trace-ID halves
+	eventWhens    = "whens"   // 1xn worker-clock timestamps
+	eventNFields  = "nfields" // 1xn per-event field counts
+	eventFieldKey = "fkeyix"  // 1xm per-field index into the key table
+	eventFieldNum = "fnums"   // 1xm numeric value, or index into fstrs
+	eventFieldStr = "fisstr"  // 1xm 0/1: is the field a string
+	eventKeys     = "fkeys"   // intern table: distinct field keys
+	eventStrs     = "fstrs"   // intern table: distinct string values
+	eventRecvAt   = "recvat"
+)
+
+// internIx returns s's index in tab, appending it if new.
+func internIx(tab *[]string, s string) int {
+	for i, v := range *tab {
+		if v == s {
+			return i
+		}
+	}
+	*tab = append(*tab, s)
+	return len(*tab) - 1
+}
+
+// encodeEventPayload packs worker events for the trip back to the
+// master. recvAt is the worker clock at descriptor receipt.
+func encodeEventPayload(evs []telemetry.Event, recvAt float64) *nsp.Hash {
+	n := len(evs)
+	levels := nsp.NewMat(1, n)
+	nameIx := nsp.NewMat(1, n)
+	traces := nsp.NewMat(1, 2*n)
+	whens := nsp.NewMat(1, n)
+	nFields := nsp.NewMat(1, n)
+	var names, keys, strs []string
+	var keyIx, nums, isStr []float64
+	for i, ev := range evs {
+		levels.Data[i] = float64(ev.Level)
+		nameIx.Data[i] = float64(internIx(&names, ev.Name))
+		splitU64(traces, i, ev.TraceID)
+		whens.Data[i] = ev.When
+		nFields.Data[i] = float64(len(ev.Fields))
+		for _, f := range ev.Fields {
+			keyIx = append(keyIx, float64(internIx(&keys, f.Key)))
+			if s, ok := f.StrValue(); ok {
+				isStr = append(isStr, 1)
+				nums = append(nums, float64(internIx(&strs, s)))
+			} else {
+				v, _ := f.NumValue()
+				isStr = append(isStr, 0)
+				nums = append(nums, v)
+			}
+		}
+	}
+	toSMat := func(ss []string) *nsp.SMat {
+		m := nsp.NewSMat(1, len(ss))
+		copy(m.Data, ss)
+		return m
+	}
+	toMat := func(vs []float64) *nsp.Mat {
+		m := nsp.NewMat(1, len(vs))
+		copy(m.Data, vs)
+		return m
+	}
+	h := nsp.NewHash()
+	h.Set(eventMarker, nsp.Scalar(1))
+	h.Set(eventLevels, levels)
+	h.Set(eventNames, toSMat(names))
+	h.Set(eventNameIx, nameIx)
+	h.Set(eventTraces, traces)
+	h.Set(eventWhens, whens)
+	h.Set(eventNFields, nFields)
+	h.Set(eventFieldKey, toMat(keyIx))
+	h.Set(eventFieldNum, toMat(nums))
+	h.Set(eventFieldStr, toMat(isStr))
+	h.Set(eventKeys, toSMat(keys))
+	h.Set(eventStrs, toSMat(strs))
+	h.Set(eventRecvAt, nsp.Scalar(recvAt))
+	return h
+}
+
+// isEventPayload reports whether a result-list item is an event payload
+// rather than a task result.
+func isEventPayload(o nsp.Object) bool {
+	h, ok := o.(*nsp.Hash)
+	if !ok {
+		return false
+	}
+	_, ok = h.Get(eventMarker)
+	return ok
+}
+
+// decodeEventPayload unpacks an event payload hash. Event times stay on
+// the worker clock (the caller shifts them) and Rank is left at
+// RankLocal (the caller attributes the source rank).
+func decodeEventPayload(o nsp.Object) ([]telemetry.Event, float64, error) {
+	h, ok := o.(*nsp.Hash)
+	if !ok {
+		return nil, 0, errors.New("farm: event payload is not a hash")
+	}
+	mat := func(key string) (*nsp.Mat, error) {
+		v, ok := h.Get(key)
+		if !ok {
+			return nil, fmt.Errorf("farm: event payload missing %q", key)
+		}
+		m, ok := v.(*nsp.Mat)
+		if !ok {
+			return nil, fmt.Errorf("farm: event payload %q has wrong type", key)
+		}
+		return m, nil
+	}
+	smat := func(key string) (*nsp.SMat, error) {
+		v, ok := h.Get(key)
+		if !ok {
+			return nil, fmt.Errorf("farm: event payload missing %q", key)
+		}
+		m, ok := v.(*nsp.SMat)
+		if !ok {
+			return nil, fmt.Errorf("farm: event payload %q has wrong type", key)
+		}
+		return m, nil
+	}
+	levels, err := mat(eventLevels)
+	if err != nil {
+		return nil, 0, err
+	}
+	nameIx, err := mat(eventNameIx)
+	if err != nil {
+		return nil, 0, err
+	}
+	traces, err := mat(eventTraces)
+	if err != nil {
+		return nil, 0, err
+	}
+	whens, err := mat(eventWhens)
+	if err != nil {
+		return nil, 0, err
+	}
+	nFields, err := mat(eventNFields)
+	if err != nil {
+		return nil, 0, err
+	}
+	keyIx, err := mat(eventFieldKey)
+	if err != nil {
+		return nil, 0, err
+	}
+	nums, err := mat(eventFieldNum)
+	if err != nil {
+		return nil, 0, err
+	}
+	isStr, err := mat(eventFieldStr)
+	if err != nil {
+		return nil, 0, err
+	}
+	names, err := smat(eventNames)
+	if err != nil {
+		return nil, 0, err
+	}
+	keys, err := smat(eventKeys)
+	if err != nil {
+		return nil, 0, err
+	}
+	strs, err := smat(eventStrs)
+	if err != nil {
+		return nil, 0, err
+	}
+	rv, err := mat(eventRecvAt)
+	if err != nil || len(rv.Data) != 1 {
+		return nil, 0, errors.New("farm: event payload recvat malformed")
+	}
+	n := len(levels.Data)
+	if len(nameIx.Data) != n || len(traces.Data) != 2*n || len(whens.Data) != n || len(nFields.Data) != n {
+		return nil, 0, errors.New("farm: event payload field lengths disagree")
+	}
+	m := len(keyIx.Data)
+	if len(nums.Data) != m || len(isStr.Data) != m {
+		return nil, 0, errors.New("farm: event payload field arrays disagree")
+	}
+	strTab := func(tab *nsp.SMat, v float64, what string) (string, error) {
+		ix := int(v)
+		if float64(ix) != v || ix < 0 || ix >= len(tab.Data) {
+			return "", fmt.Errorf("farm: event payload %s index %v out of range", what, v)
+		}
+		return tab.Data[ix], nil
+	}
+	evs := make([]telemetry.Event, n)
+	fi := 0
+	for i := range evs {
+		evs[i].Level = telemetry.Level(int8(levels.Data[i]))
+		if evs[i].Name, err = strTab(names, nameIx.Data[i], "name"); err != nil {
+			return nil, 0, err
+		}
+		if evs[i].TraceID, err = joinU64(traces, i); err != nil {
+			return nil, 0, fmt.Errorf("farm: event payload trace %d: %w", i, err)
+		}
+		evs[i].When = whens.Data[i]
+		evs[i].Rank = telemetry.RankLocal
+		nf := int(nFields.Data[i])
+		if float64(nf) != nFields.Data[i] || nf < 0 || fi+nf > m {
+			return nil, 0, fmt.Errorf("farm: event payload field count %v malformed", nFields.Data[i])
+		}
+		for j := 0; j < nf; j++ {
+			key, err := strTab(keys, keyIx.Data[fi], "key")
+			if err != nil {
+				return nil, 0, err
+			}
+			if isStr.Data[fi] != 0 {
+				s, err := strTab(strs, nums.Data[fi], "value")
+				if err != nil {
+					return nil, 0, err
+				}
+				evs[i].Fields = append(evs[i].Fields, telemetry.Str(key, s))
+			} else {
+				evs[i].Fields = append(evs[i].Fields, telemetry.Num(key, nums.Data[fi]))
+			}
+			fi++
+		}
+	}
+	if fi != m {
+		return nil, 0, errors.New("farm: event payload has unclaimed fields")
+	}
+	return evs, rv.Data[0], nil
+}

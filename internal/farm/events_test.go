@@ -1,0 +1,406 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
+	"riskbench/internal/telemetry"
+)
+
+func fieldNum(ev telemetry.Event, key string) (float64, bool) {
+	for _, f := range ev.Fields {
+		if f.Key == key {
+			return f.NumValue()
+		}
+	}
+	return 0, false
+}
+
+func fieldStr(ev telemetry.Event, key string) (string, bool) {
+	for _, f := range ev.Fields {
+		if f.Key == key {
+			return f.StrValue()
+		}
+	}
+	return "", false
+}
+
+// TestFleetAccounting drives the fleet book directly through one
+// dispatch/complete/fail/redeal cycle and checks every counter, the
+// EWMA update and the rank-sorted snapshot.
+func TestFleetAccounting(t *testing.T) {
+	f := NewFleet()
+	f.dispatched(2, 3, 1.0)
+	snap := f.Snapshot()
+	if len(snap) != 1 || snap[0].Rank != 2 || snap[0].InFlight != 3 {
+		t.Fatalf("after dispatch: %+v", snap)
+	}
+	f.completed(2, 3, 0.5, 2.0)
+	f.taskFailed(2)
+	f.taskRedealt(1)
+	snap = f.Snapshot()
+	if len(snap) != 2 || snap[0].Rank != 1 || snap[1].Rank != 2 {
+		t.Fatalf("snapshot not rank-sorted: %+v", snap)
+	}
+	if snap[0].Redealt != 1 {
+		t.Errorf("rank 1 redealt = %d, want 1", snap[0].Redealt)
+	}
+	w2 := snap[1]
+	if w2.InFlight != 0 || w2.Completed != 3 || w2.Retried != 1 {
+		t.Errorf("rank 2 state = %+v", w2)
+	}
+	if w2.EWMASeconds != 0.5 {
+		t.Errorf("first completion EWMA = %v, want the raw duration 0.5", w2.EWMASeconds)
+	}
+	if w2.LastSeen != 2.0 {
+		t.Errorf("last seen = %v, want 2.0", w2.LastSeen)
+	}
+	// Second completion moves the EWMA by alpha of the difference.
+	f.dispatched(2, 1, 3.0)
+	f.completed(2, 1, 1.0, 4.0)
+	snap = f.Snapshot()
+	want := 0.5 + ewmaAlpha*(1.0-0.5)
+	if got := snap[1].EWMASeconds; got != want {
+		t.Errorf("EWMA after second completion = %v, want %v", got, want)
+	}
+	// A completion for an unknown rank must not drive in-flight negative.
+	f.completed(9, 2, 0.1, 5.0)
+	for _, w := range f.Snapshot() {
+		if w.InFlight < 0 {
+			t.Errorf("rank %d in-flight went negative: %d", w.Rank, w.InFlight)
+		}
+	}
+	// A nil fleet discards everything without panicking.
+	var nf *Fleet
+	nf.dispatched(1, 1, 0)
+	nf.completed(1, 1, 0, 0)
+	nf.taskFailed(1)
+	nf.taskRedealt(1)
+	if nf.Snapshot() != nil {
+		t.Error("nil fleet snapshot not nil")
+	}
+}
+
+// TestFleetStragglerScore pins the z-score: a worker 3× slower than its
+// uniform peers scores clearly positive, the peers negative, and a
+// worker with no completions stays at zero.
+func TestFleetStragglerScore(t *testing.T) {
+	f := NewFleet()
+	for rank, dur := range map[int]float64{1: 1.0, 2: 1.0, 3: 4.0} {
+		f.dispatched(rank, 1, 0)
+		f.completed(rank, 1, dur, 1)
+	}
+	f.dispatched(4, 1, 2) // dispatched but never completed
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("%d workers, want 4", len(snap))
+	}
+	if s := snap[2].StragglerScore; s < 1 {
+		t.Errorf("slow worker z-score = %v, want > 1", s)
+	}
+	if snap[0].StragglerScore >= 0 || snap[1].StragglerScore >= 0 {
+		t.Errorf("fast workers score positive: %+v", snap[:2])
+	}
+	if snap[3].StragglerScore != 0 {
+		t.Errorf("completion-less worker scored %v, want 0", snap[3].StragglerScore)
+	}
+	// Uniform fleet: zero variance, all scores zero.
+	u := NewFleet()
+	for rank := 1; rank <= 3; rank++ {
+		u.dispatched(rank, 1, 0)
+		u.completed(rank, 1, 0.25, 1)
+	}
+	for _, w := range u.Snapshot() {
+		if w.StragglerScore != 0 {
+			t.Errorf("uniform fleet rank %d scored %v, want 0", w.Rank, w.StragglerScore)
+		}
+	}
+}
+
+// TestEventPayloadRoundtrip packs a mixed batch of events through the
+// wire codec and expects everything except Seq (assigned at ingest) and
+// Rank (attributed by the master) to survive bit-exactly.
+func TestEventPayloadRoundtrip(t *testing.T) {
+	evs := []telemetry.Event{
+		{
+			When: 1.5, Level: telemetry.LevelWarn, Name: "farm.compute.error",
+			TraceID: 0xdeadbeefcafef00d,
+			Fields: []telemetry.Field{
+				telemetry.Str("task", "job-01"),
+				telemetry.Str("err", "boom"),
+				telemetry.Num("attempt", 2),
+			},
+		},
+		{
+			When: 2.5, Level: telemetry.LevelError, Name: "farm.worker.exit",
+			Fields: []telemetry.Field{telemetry.Num("rank", 3)},
+		},
+		// Same name again: the intern table must map both to one entry.
+		{When: 3.25, Level: telemetry.LevelWarn, Name: "farm.compute.error"},
+	}
+	h := encodeEventPayload(evs, 42.5)
+	if !isEventPayload(h) {
+		t.Fatal("encoded payload not recognised")
+	}
+	if isEventPayload(resultHash("job-01", 1, 0, 0, 1)) {
+		t.Fatal("task result misrecognised as event payload")
+	}
+	got, recvAt, err := decodeEventPayload(h)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if recvAt != 42.5 {
+		t.Errorf("recvAt = %v, want 42.5", recvAt)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("%d events back, want %d", len(got), len(evs))
+	}
+	for i, ev := range got {
+		want := evs[i]
+		if ev.Name != want.Name || ev.Level != want.Level || ev.When != want.When || ev.TraceID != want.TraceID {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want)
+		}
+		if ev.Rank != telemetry.RankLocal {
+			t.Errorf("event %d rank = %d before attribution, want RankLocal", i, ev.Rank)
+		}
+		if len(ev.Fields) != len(want.Fields) {
+			t.Errorf("event %d has %d fields, want %d", i, len(ev.Fields), len(want.Fields))
+			continue
+		}
+		for j, f := range ev.Fields {
+			if f.Key != want.Fields[j].Key || f.Value() != want.Fields[j].Value() {
+				t.Errorf("event %d field %d = %v=%v, want %v=%v",
+					i, j, f.Key, f.Value(), want.Fields[j].Key, want.Fields[j].Value())
+			}
+		}
+	}
+}
+
+// TestEventPayloadRejectsMalformed feeds the decoder the corruptions a
+// hostile or skewed peer could ship: wrong container type, missing
+// arrays, dangling intern indices and disagreeing lengths.
+func TestEventPayloadRejectsMalformed(t *testing.T) {
+	if _, _, err := decodeEventPayload(nsp.Scalar(1)); err == nil {
+		t.Error("non-hash payload accepted")
+	}
+	base := func() []telemetry.Event {
+		return []telemetry.Event{{
+			When: 1, Level: telemetry.LevelWarn, Name: "farm.compute.error",
+			Fields: []telemetry.Field{telemetry.Str("task", "job-01")},
+		}}
+	}
+	corrupt := []struct {
+		name   string
+		mutate func(h *nsp.Hash)
+	}{
+		{"missing levels", func(h *nsp.Hash) { h.Del(eventLevels) }},
+		{"name index out of range", func(h *nsp.Hash) {
+			m := nsp.NewMat(1, 1)
+			m.Data[0] = 7
+			h.Set(eventNameIx, m)
+		}},
+		{"fractional field count", func(h *nsp.Hash) {
+			m := nsp.NewMat(1, 1)
+			m.Data[0] = 0.5
+			h.Set(eventNFields, m)
+		}},
+		{"field count overruns arrays", func(h *nsp.Hash) {
+			m := nsp.NewMat(1, 1)
+			m.Data[0] = 9
+			h.Set(eventNFields, m)
+		}},
+		{"trace halves truncated", func(h *nsp.Hash) { h.Set(eventTraces, nsp.NewMat(1, 1)) }},
+		{"string value index dangles", func(h *nsp.Hash) { h.Set(eventStrs, nsp.NewSMat(1, 0)) }},
+		{"recvat malformed", func(h *nsp.Hash) { h.Set(eventRecvAt, nsp.NewMat(1, 2)) }},
+	}
+	for _, tc := range corrupt {
+		h := encodeEventPayload(base(), 1)
+		tc.mutate(h)
+		if _, _, err := decodeEventPayload(h); err == nil {
+			t.Errorf("%s: corrupted payload accepted", tc.name)
+		}
+	}
+}
+
+// runEventFarm runs one farm with a distinct telemetry registry per
+// rank — the distributed shape, where worker events can only reach the
+// master over the wire — and returns the results plus the master's
+// registry and fleet.
+func runEventFarm(t *testing.T, execs map[int]Executor, tasks []Task, mopts Options) ([]Result, *telemetry.Registry, *Fleet) {
+	t.Helper()
+	mopts.Telemetry = telemetry.New()
+	mopts.Fleet = NewFleet()
+	w := mpi.NewLocalWorld(len(execs) + 1)
+	defer w.Close()
+	var wg sync.WaitGroup
+	for r := 1; r <= len(execs); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			wopts := mopts
+			wopts.Telemetry = telemetry.New()
+			wopts.Fleet = nil
+			if err := RunWorker(w.Comm(rank), execs[rank], nil, wopts); err != nil {
+				t.Errorf("worker %d: %v", rank, err)
+			}
+		}(r)
+	}
+	results, err := RunMaster(context.Background(), w.Comm(0), tasks, LiveLoader{}, mopts)
+	if err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	wg.Wait()
+	return results, mopts.Telemetry, mopts.Fleet
+}
+
+// TestFarmRetryEventsAttributed injects one transient worker failure
+// and checks the flight recorder end to end: the master logs a
+// farm.task.retry naming the failing rank, the worker's own
+// farm.compute.error ships over the negotiated events capability and
+// lands rank-attributed in the master's log, and the fleet book charges
+// the failure to the right worker.
+func TestFarmRetryEventsAttributed(t *testing.T) {
+	exec := newFlaky("job-02", 1)
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		tasks[i] = Task{Name: fmt.Sprintf("job-%02d", i), Data: []byte("x")}
+	}
+	results, reg, fleet := runEventFarm(t,
+		map[int]Executor{1: exec, 2: exec},
+		tasks, Options{Strategy: SerializedLoad, MaxRetries: 2})
+	if len(results) != 6 {
+		t.Fatalf("%d results, want 6", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.Name, r.Err)
+		}
+	}
+	retries := reg.Events(telemetry.EventFilter{Prefix: "farm.task.retry"})
+	if len(retries) != 1 {
+		t.Fatalf("got %d farm.task.retry events, want 1", len(retries))
+	}
+	rt := retries[0]
+	if rt.Level != telemetry.LevelWarn {
+		t.Errorf("retry level = %v, want warn", rt.Level)
+	}
+	if task, _ := fieldStr(rt, "task"); task != "job-02" {
+		t.Errorf("retry task = %q, want job-02", task)
+	}
+	failRank, ok := fieldNum(rt, "rank")
+	if !ok || (failRank != 1 && failRank != 2) {
+		t.Fatalf("retry rank field = %v ok=%v, want a worker rank", failRank, ok)
+	}
+	if attempt, _ := fieldNum(rt, "attempt"); attempt != 1 {
+		t.Errorf("retry attempt = %v, want 1", attempt)
+	}
+	// The worker's own compute-error event crossed the wire and was
+	// folded in with the failing rank stamped on it.
+	cerrs := reg.Events(telemetry.EventFilter{Prefix: "farm.compute.error"})
+	if len(cerrs) != 1 {
+		t.Fatalf("got %d farm.compute.error events, want 1 shipped from the worker", len(cerrs))
+	}
+	if got := cerrs[0].Rank; got != int(failRank) {
+		t.Errorf("compute error attributed to rank %d, want %d", got, int(failRank))
+	}
+	if errMsg, _ := fieldStr(cerrs[0], "err"); errMsg == "" {
+		t.Error("compute error event lost its err field")
+	}
+	// Fleet: the failure is charged to the failing worker, and every
+	// dispatch (6 tasks + 1 retry) completed somewhere.
+	var retried, completed int64
+	for _, w := range fleet.Snapshot() {
+		retried += w.Retried
+		completed += w.Completed
+		if w.Rank == int(failRank) && w.Retried != 1 {
+			t.Errorf("rank %d retried = %d, want 1", w.Rank, w.Retried)
+		}
+		if w.InFlight != 0 {
+			t.Errorf("rank %d still in flight after the run: %d", w.Rank, w.InFlight)
+		}
+	}
+	if retried != 1 || completed != 7 {
+		t.Errorf("fleet totals retried=%d completed=%d, want 1/7", retried, completed)
+	}
+}
+
+// rankedExec fails one named task instantly and prices everything else
+// after a fixed delay, so tests can choreograph which worker is free
+// when a retry comes up for dispatch.
+type rankedExec struct {
+	fail  string
+	delay time.Duration
+}
+
+func (e rankedExec) Execute(name string, payload []byte, cost float64, size int) (nsp.Object, error) {
+	if name == e.fail {
+		return nil, errors.New("injected failure")
+	}
+	time.Sleep(e.delay)
+	return resultHash(name, 42, 0, 0, 1), nil
+}
+
+// TestFarmRedealEvent forces a retry to land on a different rank than
+// the one that failed it. Rank 1 fails "poison" instantly and is then
+// kept busy on a slow filler; rank 2 frees up first and takes the
+// retry — a redeal, logged with both ranks and booked to the fleet.
+func TestFarmRedealEvent(t *testing.T) {
+	tasks := []Task{
+		{Name: "poison", Data: []byte("x")},
+		{Name: "fill-a", Data: []byte("x")},
+		{Name: "fill-b", Data: []byte("x")},
+	}
+	// Seeding sends poison→1 and fill-a→2. Rank 1 fails poison at once;
+	// the master requeues it behind fill-b and hands rank 1 the slow
+	// fill-b. Rank 2 finishes fill-a long before rank 1 returns, so the
+	// poison retry is redealt to rank 2.
+	results, reg, fleet := runEventFarm(t,
+		map[int]Executor{
+			1: rankedExec{fail: "poison", delay: 300 * time.Millisecond},
+			2: rankedExec{delay: 30 * time.Millisecond},
+		},
+		tasks, Options{Strategy: SerializedLoad, MaxRetries: 2})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.Name, r.Err)
+		}
+		if r.Name == "poison" && r.Worker != 2 {
+			t.Errorf("poison priced on rank %d, want the redeal target 2", r.Worker)
+		}
+	}
+	redeals := reg.Events(telemetry.EventFilter{Prefix: "farm.task.redeal"})
+	if len(redeals) != 1 {
+		t.Fatalf("got %d farm.task.redeal events, want 1", len(redeals))
+	}
+	rd := redeals[0]
+	if task, _ := fieldStr(rd, "task"); task != "poison" {
+		t.Errorf("redeal task = %q, want poison", task)
+	}
+	if from, _ := fieldNum(rd, "failed_on"); from != 1 {
+		t.Errorf("redeal failed_on = %v, want 1", from)
+	}
+	if to, _ := fieldNum(rd, "redealt_to"); to != 2 {
+		t.Errorf("redeal redealt_to = %v, want 2", to)
+	}
+	var r1, r2 WorkerHealth
+	for _, w := range fleet.Snapshot() {
+		switch w.Rank {
+		case 1:
+			r1 = w
+		case 2:
+			r2 = w
+		}
+	}
+	if r1.Retried != 1 {
+		t.Errorf("rank 1 retried = %d, want 1", r1.Retried)
+	}
+	if r2.Redealt != 1 {
+		t.Errorf("rank 2 redealt = %d, want 1", r2.Redealt)
+	}
+}

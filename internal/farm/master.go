@@ -121,52 +121,71 @@ func sendBatch(c mpi.Comm, worker int, b []Task, loader Loader, opts Options, bt
 	return nil
 }
 
-// recvResults receives one result list and appends its items, converting
-// worker-reported pricing failures into Results with Err set. A trailing
-// span payload (traced workers ship their finished SpanRecords with the
-// results) is split off and returned alongside the worker's
-// descriptor-receive clock reading.
-func recvResults(c mpi.Comm, results []Result) ([]Result, int, []telemetry.SpanRecord, float64, error) {
+// workerReply is everything one result message carries: the priced
+// results, the source rank, and the optional telemetry payloads (span
+// records, flight-recorder events) with the worker's descriptor-receive
+// clock reading for shifting them onto the master clock.
+type workerReply struct {
+	results []Result
+	source  int
+	spans   []telemetry.SpanRecord
+	events  []telemetry.Event
+	recvAt  float64
+}
+
+// recvResults receives one result list, converting worker-reported
+// pricing failures into Results with Err set. Trailing span and event
+// payloads are split off into the reply.
+func recvResults(c mpi.Comm) (workerReply, error) {
+	var rep workerReply
 	st, err := c.Probe(mpi.AnySource, TagResult)
 	if err != nil {
-		return results, 0, nil, 0, fmt.Errorf("farm: probe results: %w", err)
+		return rep, fmt.Errorf("farm: probe results: %w", err)
 	}
+	rep.source = st.Source
 	obj, _, err := mpi.RecvObj(c, st.Source, TagResult)
 	if err != nil {
-		return results, 0, nil, 0, fmt.Errorf("farm: recv result from %d: %w", st.Source, err)
+		return rep, fmt.Errorf("farm: recv result from %d: %w", st.Source, err)
 	}
 	list, ok := obj.(*nsp.List)
 	if !ok {
-		return results, 0, nil, 0, fmt.Errorf("farm: result from %d is %v, want list", st.Source, obj.Kind())
+		return rep, fmt.Errorf("farm: result from %d is %v, want list", st.Source, obj.Kind())
 	}
-	var spans []telemetry.SpanRecord
-	var recvAt float64
 	for _, item := range list.Items {
 		if isSpanPayload(item) {
-			if spans, recvAt, err = decodeSpanPayload(item); err != nil {
-				return results, 0, nil, 0, err
+			if rep.spans, rep.recvAt, err = decodeSpanPayload(item); err != nil {
+				return rep, err
+			}
+			continue
+		}
+		if isEventPayload(item) {
+			if rep.events, rep.recvAt, err = decodeEventPayload(item); err != nil {
+				return rep, err
 			}
 			continue
 		}
 		name, err := resultName(item)
 		if err != nil {
-			return results, 0, nil, 0, err
+			return rep, err
 		}
 		r := Result{Name: name, Worker: st.Source, Value: item}
 		if msg, failed := resultError(item); failed {
 			// Value keeps the error hash so hierarchies can forward it.
 			r.Err = fmt.Errorf("farm: task %q failed on worker %d: %s", name, st.Source, msg)
 		}
-		results = append(results, r)
+		rep.results = append(rep.results, r)
 	}
-	return results, st.Source, spans, recvAt, nil
+	return rep, nil
 }
 
 // queuedBatch is one batch awaiting dispatch plus its enqueue time on
-// the telemetry clock (0 when telemetry is off).
+// the telemetry clock (0 when telemetry is off). retryFrom is the rank
+// whose failure requeued the batch (0 = fresh dispatch); a retry landing
+// on a different rank is a redeal.
 type queuedBatch struct {
-	tasks    []Task
-	enqueued float64
+	tasks     []Task
+	enqueued  float64
+	retryFrom int
 }
 
 // pendingBatch is one batch in flight on a worker: the tasks (for retry
@@ -248,6 +267,16 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 				reg.Observe("farm.queue_wait_seconds", wait)
 			}
 		}
+		opts.Fleet.dispatched(w, len(qb.tasks), pb.sentAt)
+		if qb.retryFrom != 0 && qb.retryFrom != w {
+			// The retry landed on a different worker than the one that
+			// failed it: a redeal, the farm's unit of self-healing.
+			opts.Fleet.taskRedealt(w)
+			reg.Emit(telemetry.LevelWarn, "farm.task.redeal", runSpan.Context(),
+				telemetry.Str("task", qb.tasks[0].Name),
+				telemetry.Num("failed_on", float64(qb.retryFrom)),
+				telemetry.Num("redealt_to", float64(w)))
+		}
 		assigned[w] = pb
 		inflight++
 		return nil
@@ -263,16 +292,18 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 		}
 	}
 	for inflight > 0 {
-		batch, from, wspans, wrecv, err := recvResults(c, nil)
+		rep, err := recvResults(c)
 		if err != nil {
 			return nil, err
 		}
+		from := rep.source
 		was := assigned[from]
 		delete(assigned, from)
 		inflight--
+		now := reg.Now()
+		busy := now - was.sentAt
+		opts.Fleet.completed(from, len(was.tasks), busy, now)
 		if reg != nil {
-			now := reg.Now()
-			busy := now - was.sentAt
 			rank := strconv.Itoa(from)
 			reg.Gauge("farm.worker." + rank + ".busy_seconds").Add(busy)
 			reg.Counter("farm.worker." + rank + ".tasks").Add(int64(len(was.tasks)))
@@ -284,36 +315,52 @@ func runBatches(ctx context.Context, c mpi.Comm, workers []int, batches [][]Task
 			for _, sp := range was.spans {
 				sp.End()
 			}
-			if len(wspans) > 0 {
-				// The worker's spans are on its own clock; align them by
-				// mapping its descriptor-receive instant onto our dispatch
-				// instant. In-process farms share the registry, so these
-				// copies dedupe against the originals by span ID.
-				shift := was.sentAt - wrecv
-				for i := range wspans {
-					wspans[i].Start += shift
-					wspans[i].End += shift
+			// The worker's spans and events are on its own clock; align
+			// them by mapping its descriptor-receive instant onto our
+			// dispatch instant. In-process farms share the registry, so
+			// span copies dedupe against the originals by span ID.
+			shift := was.sentAt - rep.recvAt
+			if len(rep.spans) > 0 {
+				for i := range rep.spans {
+					rep.spans[i].Start += shift
+					rep.spans[i].End += shift
 				}
-				reg.IngestSpans(wspans)
+				reg.IngestSpans(rep.spans)
+			}
+			if len(rep.events) > 0 {
+				for i := range rep.events {
+					rep.events[i].When += shift
+					rep.events[i].Rank = from
+				}
+				reg.IngestEvents(rep.events)
 			}
 		}
-		for _, r := range batch {
+		for _, r := range rep.results {
 			if r.Err == nil {
 				reg.Counter("farm.tasks_completed").Add(1)
 				results = append(results, r)
 				continue
 			}
+			opts.Fleet.taskFailed(from)
 			attempts[r.Name]++
 			if attempts[r.Name] > opts.MaxRetries {
 				reg.Counter("farm.task_errors").Add(1)
+				reg.Emit(telemetry.LevelError, "farm.task.fail", runSpan.Context(),
+					telemetry.Str("task", r.Name),
+					telemetry.Num("rank", float64(from)),
+					telemetry.Num("attempts", float64(attempts[r.Name])))
 				results = append(results, r)
 				continue
 			}
 			retried := false
 			for _, t := range was.tasks {
 				if t.Name == r.Name {
-					queue = append(queue, queuedBatch{tasks: []Task{t}, enqueued: reg.Now()})
+					queue = append(queue, queuedBatch{tasks: []Task{t}, enqueued: reg.Now(), retryFrom: from})
 					reg.Counter("farm.retries").Add(1)
+					reg.Emit(telemetry.LevelWarn, "farm.task.retry", runSpan.Context(),
+						telemetry.Str("task", r.Name),
+						telemetry.Num("rank", float64(from)),
+						telemetry.Num("attempt", float64(attempts[r.Name])))
 					retried = true
 					break
 				}

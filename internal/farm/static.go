@@ -43,12 +43,12 @@ func RunStaticMaster(ctx context.Context, c mpi.Comm, tasks []Task, loader Loade
 		}
 	}
 	for inflight > 0 {
-		var from int
-		var err error
-		results, from, _, _, err = recvResults(c, results)
+		rep, err := recvResults(c)
 		if err != nil {
 			return nil, err
 		}
+		results = append(results, rep.results...)
+		from := rep.source
 		inflight--
 		if ctx.Err() != nil {
 			continue // cancelled: drain only

@@ -110,8 +110,13 @@ type Options struct {
 	// with the master (in-process worlds): its finished spans land in the
 	// master's trace table directly, so shipping them back with the
 	// results would only be deduplicated away. Workers skip the span
-	// payload; masters ignore the flag.
+	// payload and the event payload; masters ignore the flag.
 	LocalSpans bool
+	// Fleet, when non-nil, receives per-worker health updates from the
+	// master: in-flight counts, completions, failures, redeals and EWMA
+	// task durations, served at /debug/farm. Workers ignore it. One
+	// Fleet may span many runs so worker history accumulates.
+	Fleet *Fleet
 }
 
 func (o Options) batchSize() int {

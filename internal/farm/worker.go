@@ -61,15 +61,22 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 	for {
 		obj, _, err := mpi.RecvObj(c, master, TagTask)
 		if err != nil {
+			reg.Emit(telemetry.LevelError, "farm.worker.exit", telemetry.TraceContext{},
+				telemetry.Num("rank", float64(c.Rank())), telemetry.Str("err", err.Error()))
 			return fmt.Errorf("farm: worker %d recv descriptor: %w", c.Rank(), err)
 		}
 		recvAt := reg.Now()
+		// Snapshot the event cursor so only the events this batch emits
+		// ship back with its results.
+		evCursor := reg.EventCursor()
 		desc, err := decodeBatch(obj)
 		if err != nil {
 			return err
 		}
 		names, costs, sizes := desc.Names, desc.Costs, desc.Sizes
 		if len(names) == 0 {
+			reg.Emit(telemetry.LevelInfo, "farm.worker.stop", telemetry.TraceContext{},
+				telemetry.Num("rank", float64(c.Rank())))
 			return nil // stop message
 		}
 		// Optional payload features are gated on the negotiated
@@ -80,6 +87,10 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 		caps := mpi.PeerCaps(c, master)
 		traced := reg != nil && desc.Trace.valid() && len(desc.Trace.parents) == len(names)
 		ship := traced && !opts.LocalSpans && caps.Has(mpi.CapSpans)
+		// Events ship on their own negotiated capability, tracing or not:
+		// warning+ events emitted while pricing this batch ride back for
+		// rank-attributed folding into the master's log.
+		shipEvents := reg != nil && !opts.LocalSpans && caps.Has(mpi.CapEvents)
 		taskCtx := func(i int) telemetry.TraceContext {
 			return telemetry.TraceContext{TraceID: desc.Trace.traceID, SpanID: desc.Trace.parents[i]}
 		}
@@ -162,6 +173,8 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 				// A pricing failure is the task's problem, not the
 				// worker's: report it and keep serving (the master decides
 				// whether to retry).
+				reg.Emit(telemetry.LevelWarn, "farm.compute.error", span.Context(),
+					telemetry.Str("task", name), telemetry.Str("err", err.Error()))
 				res = errorResultHash(name, err.Error())
 			}
 			if h, ok := res.(*nsp.Hash); ok {
@@ -179,6 +192,11 @@ func RunWorker(c mpi.Comm, exec Executor, store Store, opts Options) error {
 		}
 		if len(shipped) > 0 {
 			out.Add(encodeSpanPayload(shipped, recvAt))
+		}
+		if shipEvents {
+			if evs := reg.Events(telemetry.EventFilter{MinLevel: telemetry.LevelWarn, SinceSeq: evCursor}); len(evs) > 0 {
+				out.Add(encodeEventPayload(evs, recvAt))
+			}
 		}
 		if err := mpi.SendObj(c, out, master, TagResult); err != nil {
 			return fmt.Errorf("farm: worker %d send results: %w", c.Rank(), err)

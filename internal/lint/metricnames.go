@@ -20,7 +20,8 @@ import (
 // either breaks rank folding (per-worker series explode into distinct
 // metrics) or produces an invalid Prometheus exposition line. The rule
 // checks the string literals reaching Registry.Counter / Gauge /
-// Histogram / Observe and the span constructors; names assembled by
+// Histogram / Observe / ObserveExemplar, the span constructors and the
+// event emitters (Emit, EmitCtx); names assembled by
 // concatenation are checked piecewise (each literal fragment must be
 // made of valid segment characters), and fmt.Sprintf formats may use
 // %d/%s as a whole dynamic segment.
@@ -31,17 +32,23 @@ var Metricnames = &Analyzer{
 	Run:   runMetricnames,
 }
 
-// metricNameMethods are the telemetry entry points whose first string
-// argument is a metric or span name.
-var metricNameMethods = map[string]bool{
-	"Counter":     true,
-	"Gauge":       true,
-	"Histogram":   true,
-	"Observe":     true,
-	"StartSpan":   true,
-	"StartTrace":  true,
-	"StartChild":  true,
-	"StartSpanIn": true,
+// metricNameMethods maps each telemetry entry point that takes a
+// metric, span or event name to the argument index the name occupies.
+// Event names share the metric grammar on purpose: the /debug/events
+// prefix filter and the exporter's subsystem folding both parse the
+// same dotted shape.
+var metricNameMethods = map[string]int{
+	"Counter":         0,
+	"Gauge":           0,
+	"Histogram":       0,
+	"Observe":         0,
+	"ObserveExemplar": 0,
+	"StartSpan":       0,
+	"StartTrace":      0,
+	"StartChild":      0,
+	"StartSpanIn":     1,
+	"Emit":            1,
+	"EmitCtx":         2,
 }
 
 const telemetryPkgSuffix = "internal/telemetry"
@@ -74,22 +81,17 @@ func runMetricnames(pass *Pass) {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !metricNameMethods[sel.Sel.Name] || len(call.Args) == 0 {
+			if !ok {
+				return true
+			}
+			ix, isNamed := metricNameMethods[sel.Sel.Name]
+			if !isNamed || len(call.Args) <= ix {
 				return true
 			}
 			if !telemetryReceiver(pass.Info, sel) {
 				return true
 			}
-			arg := call.Args[0]
-			// Observe(name, v) has the name first like the others; for
-			// span-in calls the name is the second argument.
-			if sel.Sel.Name == "StartSpanIn" {
-				if len(call.Args) < 2 {
-					return true
-				}
-				arg = call.Args[1]
-			}
-			checkMetricNameExpr(pass, arg)
+			checkMetricNameExpr(pass, call.Args[ix])
 			return true
 		})
 	}

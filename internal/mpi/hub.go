@@ -109,8 +109,11 @@ type HubComm struct {
 	// worker. Written only before WaitWorkers returns (classification),
 	// immutable afterwards.
 	peers []peerInfo
-	once  sync.Once
-	wg    sync.WaitGroup
+	// closed suppresses peer-drop events for connections torn down by
+	// our own Close — only peers lost while the hub is live are news.
+	closed atomic.Bool
+	once   sync.Once
+	wg     sync.WaitGroup
 }
 
 var (
@@ -307,6 +310,9 @@ func (h *HubComm) route(rank int, classified *sync.WaitGroup) {
 		err := h.classify(rank, cn, r, fc)
 		classified.Done()
 		if err != nil {
+			if !h.closed.Load() {
+				emitPeerEvent(rank, err)
+			}
 			return
 		}
 	} else {
@@ -317,6 +323,9 @@ func (h *HubComm) route(rank int, classified *sync.WaitGroup) {
 		if err != nil {
 			// Worker gone (or speaking garbage): the deferred close
 			// drops it; the hub keeps serving the other ranks.
+			if !h.closed.Load() {
+				emitPeerEvent(rank, err)
+			}
 			return
 		}
 		h.deliver(dest, src, tag, payload, fc)
@@ -373,6 +382,7 @@ func (h *HubComm) Recv(source, tag int) ([]byte, Status, error) {
 // connection, unblocking all pending operations everywhere.
 func (h *HubComm) Close() error {
 	h.once.Do(func() {
+		h.closed.Store(true)
 		h.ln.Close()
 		for _, w := range h.workers {
 			if w != nil {
@@ -397,7 +407,10 @@ type WorkerComm struct {
 	// before the first application frame, by stream order — and read by
 	// whoever asks PeerCaps.
 	peer atomic.Uint64
-	once sync.Once
+	// closed suppresses the peer-drop event when the read error was
+	// caused by our own Close.
+	closed atomic.Bool
+	once   sync.Once
 }
 
 var (
@@ -468,6 +481,9 @@ func (w *WorkerComm) recvLoop() {
 			// A read error — connection loss or a protocol violation —
 			// leaves the stream unsynchronized: close the conn rather
 			// than linger half-open, and unblock every pending Recv.
+			if !w.closed.Load() {
+				emitPeerEvent(0, err) // rank 0: the hub is the only peer
+			}
 			w.cn.c.Close()
 			w.mbox.close()
 			return
@@ -528,6 +544,7 @@ func (w *WorkerComm) Recv(source, tag int) ([]byte, Status, error) {
 // Close implements Comm.
 func (w *WorkerComm) Close() error {
 	w.once.Do(func() {
+		w.closed.Store(true)
 		w.cn.c.Close()
 		w.mbox.close()
 	})

@@ -46,12 +46,16 @@ const (
 	// CapHasDelta: the peer understands the "hasdelta" result-hash
 	// marker distinguishing "delta is 0" from "method computes no delta".
 	CapHasDelta
+	// CapEvents: the peer understands flight-recorder event payloads —
+	// the worker ships its warning+ events back with the results and the
+	// master folds them into its own log with rank attribution.
+	CapEvents
 )
 
 // AllCaps is every capability this build implements, and the implicit
 // assumption v1 endpoints make about each other (v1 had no way to say
 // otherwise — exactly the fragility versioning fixes).
-const AllCaps = CapSpans | CapHasDelta
+const AllCaps = CapSpans | CapHasDelta | CapEvents
 
 // capNames maps wire names to bits. Names, not bit positions, are the
 // wire contract: two builds can disagree on bit layout and still
@@ -59,6 +63,7 @@ const AllCaps = CapSpans | CapHasDelta
 var capNames = map[string]CapSet{
 	"spans":    CapSpans,
 	"hasdelta": CapHasDelta,
+	"events":   CapEvents,
 }
 
 // Has reports whether every capability in want is present.
@@ -67,7 +72,7 @@ func (s CapSet) Has(want CapSet) bool { return s&want == want }
 // String renders the set as its sorted wire names.
 func (s CapSet) String() string {
 	var names []string
-	for _, name := range []string{"hasdelta", "spans"} {
+	for _, name := range []string{"events", "hasdelta", "spans"} {
 		if s.Has(capNames[name]) {
 			names = append(names, name)
 		}

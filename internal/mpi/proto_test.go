@@ -304,10 +304,12 @@ func TestNegotiateIsCommutativeOnCaps(t *testing.T) {
 
 func TestCapSetString(t *testing.T) {
 	for want, s := range map[string]CapSet{
-		"none":           0,
-		"spans":          CapSpans,
-		"hasdelta":       CapHasDelta,
-		"hasdelta,spans": AllCaps,
+		"none":                  0,
+		"spans":                 CapSpans,
+		"hasdelta":              CapHasDelta,
+		"events":                CapEvents,
+		"hasdelta,spans":        CapSpans | CapHasDelta,
+		"events,hasdelta,spans": AllCaps,
 	} {
 		if got := s.String(); got != want {
 			t.Errorf("CapSet(%d).String() = %q, want %q", s, got, want)

@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"errors"
+	"io"
 	"strconv"
 	"sync/atomic"
 
@@ -21,6 +23,27 @@ var sink atomic.Pointer[telemetry.Registry]
 // SetTelemetry.
 func SetTelemetry(r *telemetry.Registry) {
 	sink.Store(r)
+}
+
+// emitPeerEvent files the loss of a peer connection into the flight
+// recorder, graded by how it died: a clean EOF is an orderly disconnect
+// (info), a protocol violation is an error, anything else — resets,
+// timeouts, half-closed sockets — is a warning. Callers suppress the
+// events caused by their own Close.
+func emitPeerEvent(rank int, err error) {
+	reg := sink.Load()
+	if reg == nil {
+		return
+	}
+	name, level := "mpi.peer.drop", telemetry.LevelWarn
+	switch {
+	case errors.Is(err, ErrProtocol):
+		name, level = "mpi.peer.protocol_error", telemetry.LevelError
+	case errors.Is(err, io.EOF):
+		name, level = "mpi.peer.disconnect", telemetry.LevelInfo
+	}
+	reg.Emit(level, name, telemetry.TraceContext{},
+		telemetry.Num("rank", float64(rank)), telemetry.Str("err", err.Error()))
 }
 
 // countMsg records one object-level message of n bytes in direction dir

@@ -2,11 +2,15 @@ package risk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 
+	"riskbench/internal/farm"
 	"riskbench/internal/mpi"
+	"riskbench/internal/nsp"
 	"riskbench/internal/premia"
 	"riskbench/internal/telemetry"
 )
@@ -100,6 +104,138 @@ func TestCompatMatrix(t *testing.T) {
 							got, wantDelta, masterProto, workerProto)
 					}
 				})
+			}
+		}
+	}
+}
+
+// compatFlakyExec fails the first attempt of one named task and prices
+// everything else deterministically, so capability pairings can be
+// compared bit-for-bit while still generating a worker-side warning
+// event (the farm.compute.error behind the events capability).
+type compatFlakyExec struct {
+	mu     sync.Mutex
+	fail   string
+	failed bool
+}
+
+func (e *compatFlakyExec) Execute(name string, payload []byte, cost float64, size int) (nsp.Object, error) {
+	if name == e.fail {
+		e.mu.Lock()
+		first := !e.failed
+		e.failed = true
+		e.mu.Unlock()
+		if first {
+			return nil, errors.New("injected compute failure")
+		}
+	}
+	h := nsp.NewHash()
+	h.Set("name", nsp.Str(name))
+	h.Set("price", nsp.Scalar(float64(len(name))*1.25))
+	return h, nil
+}
+
+// TestCompatEventsCapability is the flight recorder's row of the
+// rolling-upgrade matrix: a peer whose announced capability set predates
+// "events" (it speaks ProtoV2 but only spans+hasdelta — an older build
+// mid-upgrade) must downgrade silently. Prices stay bit-identical in
+// every pairing; the worker's warning events reach the master's log
+// exactly when both ends negotiated the capability.
+func TestCompatEventsCapability(t *testing.T) {
+	const nw = 2
+	legacy := mpi.CapSpans | mpi.CapHasDelta // no events
+	cases := []struct {
+		name       string
+		masterCaps mpi.CapSet
+		workerCaps mpi.CapSet
+		wantEvents bool
+	}{
+		{"events_master/events_worker", mpi.AllCaps, mpi.AllCaps, true},
+		{"events_master/legacy_worker", mpi.AllCaps, legacy, false},
+		{"legacy_master/events_worker", legacy, mpi.AllCaps, false},
+	}
+	prices := make(map[string]map[string]uint64)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hub, err := mpi.ListenHubWith("", nw+1, mpi.WorldOptions{Transport: "tcp", Caps: tc.masterCaps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hub.Close()
+			accepted := make(chan error, 1)
+			go func() { accepted <- hub.WaitWorkers() }()
+			exec := &compatFlakyExec{fail: "job-01"}
+			var wg sync.WaitGroup
+			for i := 0; i < nw; i++ {
+				c, err := mpi.DialHubWith(hub.Addr(), mpi.WorldOptions{Transport: "tcp", Caps: tc.workerCaps})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(c mpi.Comm) {
+					defer wg.Done()
+					defer c.Close()
+					if werr := farm.RunWorker(c, exec, nil,
+						farm.Options{Strategy: farm.SerializedLoad, Telemetry: telemetry.New()}); werr != nil {
+						t.Errorf("worker: %v", werr)
+					}
+				}(c)
+			}
+			if err := <-accepted; err != nil {
+				t.Fatal(err)
+			}
+			tasks := make([]farm.Task, 4)
+			for i := range tasks {
+				tasks[i] = farm.Task{Name: fmt.Sprintf("job-%02d", i), Data: []byte("x")}
+			}
+			reg := telemetry.New()
+			results, err := farm.RunMaster(context.Background(), hub, tasks, farm.LiveLoader{},
+				farm.Options{Strategy: farm.SerializedLoad, MaxRetries: 2, Telemetry: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			got := make(map[string]uint64, len(results))
+			for _, r := range results {
+				if r.Err != nil {
+					t.Fatalf("%s failed despite retry budget: %v", r.Name, r.Err)
+				}
+				price, ok := farm.ResultField(r, "price")
+				if !ok {
+					t.Fatalf("%s has no price", r.Name)
+				}
+				got[r.Name] = math.Float64bits(price)
+			}
+			prices[tc.name] = got
+
+			// The master's own retry bookkeeping is capability-independent.
+			if n := len(reg.Events(telemetry.EventFilter{Prefix: "farm.task.retry"})); n != 1 {
+				t.Errorf("%d farm.task.retry events, want 1", n)
+			}
+			// The worker's compute error crosses the wire only when both
+			// ends negotiated "events" — and then it arrives
+			// rank-attributed.
+			cerrs := reg.Events(telemetry.EventFilter{Prefix: "farm.compute.error"})
+			if tc.wantEvents {
+				if len(cerrs) != 1 {
+					t.Fatalf("%d farm.compute.error events at the master, want 1", len(cerrs))
+				}
+				if r := cerrs[0].Rank; r < 1 || r > nw {
+					t.Errorf("shipped event attributed to rank %d, want a worker rank", r)
+				}
+			} else if len(cerrs) != 0 {
+				t.Errorf("%d worker events crossed a capability boundary, want 0", len(cerrs))
+			}
+		})
+	}
+	base := prices[cases[0].name]
+	if len(base) == 0 {
+		t.Fatal("baseline pairing produced no prices")
+	}
+	for _, tc := range cases[1:] {
+		for name, bits := range prices[tc.name] {
+			if bits != base[name] {
+				t.Errorf("%s: %s priced differently than the full-caps pairing", tc.name, name)
 			}
 		}
 	}

@@ -138,7 +138,7 @@ func (e Engine) PriceBatch(ctx context.Context, problems []*premia.Problem) ([]P
 	if nw > len(tasks) {
 		nw = len(tasks)
 	}
-	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg}
+	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg, Fleet: e.Fleet}
 	results, err := e.backend().Run(ctx, tasks, opts, nw)
 	if err != nil {
 		if ctx.Err() != nil {

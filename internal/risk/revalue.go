@@ -44,6 +44,10 @@ type Engine struct {
 	// with per-connection protocol negotiation. Distributed traces
 	// thread through either one.
 	Backend FarmBackend
+	// Fleet, when non-nil, accumulates per-worker health (in-flight,
+	// completions, failures, redeals, EWMA durations) across every farm
+	// run this engine drives — what /debug/farm serves.
+	Fleet *farm.Fleet
 }
 
 func (e Engine) backend() FarmBackend {
@@ -292,7 +296,7 @@ func (e Engine) RevalueContext(ctx context.Context, pf *portfolio.Portfolio, sce
 	if tc := farmSpan.Context(); tc.Valid() {
 		farmCtx = telemetry.ContextWithTrace(ctx, tc)
 	}
-	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg}
+	opts := farm.Options{Strategy: farm.SerializedLoad, BatchSize: e.batch(), Telemetry: reg, Fleet: e.Fleet}
 	results, err := e.backend().Run(farmCtx, tasks, opts, e.workers())
 	farmSpan.End()
 	if err != nil {

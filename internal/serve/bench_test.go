@@ -97,6 +97,53 @@ func BenchmarkServeBatching(b *testing.B) {
 	}
 }
 
+// BenchmarkServeEvents measures the flight recorder's toll on the
+// serving hot path at the recommended batch-16 setting: identical load
+// with the event log + SLO monitor on and off. The steady-state request
+// path emits no events at all (events mark anomalies — rejects,
+// deadline misses, breaches), so the measurable cost is the SLO
+// monitor's background tick plus the disabled-check branches; the gap
+// should stay within the 5% ISSUE budget.
+//
+//	go test -bench BenchmarkServeEvents ./internal/serve
+func BenchmarkServeEvents(b *testing.B) {
+	for _, events := range []bool{true, false} {
+		name := "events=on"
+		if !events {
+			name = "events=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := New(Config{
+				Engine:        &risk.Engine{Workers: 4, BatchSize: 16},
+				MaxBatch:      16,
+				MaxDelay:      200 * time.Microsecond,
+				CacheSize:     1024,
+				MaxInflight:   4096,
+				MaxQueue:      4096,
+				DisableEvents: !events,
+			})
+			defer s.Close()
+			var next atomic.Int64
+			b.SetParallelism(128)
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := 50 + float64(next.Add(1)%100000)/1000
+					w := benchPost(s, "/price", cfBody(k))
+					if w.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", w.Code, w.Body.String())
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
+			}
+		})
+	}
+}
+
 // BenchmarkServeTracing measures the cost of per-request distributed
 // tracing at the recommended batch-16 setting: identical load with
 // tracing on and off. The trace machinery is a handful of span

@@ -475,8 +475,9 @@ func (s *Server) handleRiskWatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) watchRound(streamCtx context.Context, q *riskWatchRequest, pf *portfolio.Portfolio, cfg varisk.Config, round int, sens **varisk.Sensitivities) riskWatchEventJSON {
 	ctx, cancel := context.WithTimeout(streamCtx, s.cfg.RequestTimeout)
 	defer cancel()
+	var span *telemetry.Span
 	if !s.cfg.DisableTracing {
-		span := s.reg.StartTrace("serve.risk.watch_round")
+		span = s.reg.StartTrace("serve.risk.watch_round")
 		defer span.End()
 		ctx = telemetry.ContextWithTrace(ctx, span.Context())
 	}
@@ -511,6 +512,20 @@ func (s *Server) watchRound(streamCtx context.Context, q *riskWatchRequest, pf *
 		if level == "normal" {
 			return
 		}
+		// A limit breach lands in the flight recorder under the round's
+		// trace, so /debug/events?trace=<id> jumps straight to the
+		// revaluation tree that produced the breaching number. A breached
+		// limit is an error, an approached one a warning.
+		evLevel := telemetry.LevelWarn
+		if level == "critical" {
+			evLevel = telemetry.LevelError
+		}
+		s.emit(evLevel, "serve.risk.limit_breach", span.Context(),
+			telemetry.Str("metric", metric),
+			telemetry.Num("value", value),
+			telemetry.Num("limit", limit),
+			telemetry.Num("utilization", u),
+			telemetry.Num("round", float64(round)))
 		event.Breaches = append(event.Breaches, riskBreachJSON{
 			Metric: metric, Value: value, Limit: limit, Utilization: u, Level: level, Action: action,
 		})

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"riskbench/internal/farm"
 	"riskbench/internal/premia"
 	"riskbench/internal/risk"
 	"riskbench/internal/telemetry"
@@ -66,6 +67,32 @@ type Config struct {
 	// tracing overhead benchmark flips it; production setups normally
 	// leave tracing on.
 	DisableTracing bool
+	// SLOs are the objectives the server's burn-rate monitor watches
+	// (served at /debug/slo, gauged as slo.<name>.*). Nil installs
+	// DefaultSLOs; pass an empty non-nil slice to monitor nothing.
+	SLOs []telemetry.Objective
+	// DisableEvents turns off the flight recorder's serve-side surface:
+	// no serve.* events are emitted and the SLO ticker never starts.
+	// The /debug/events, /debug/slo and /debug/farm routes stay mounted
+	// (farm and mpi events still flow into the shared registry). The
+	// events overhead benchmark flips it.
+	DisableEvents bool
+}
+
+// DefaultSLOs is the serving layer's out-of-the-box objective set: 99%
+// of requests priced under 50ms (measured on the span.serve.request
+// histogram, whose buckets carry trace-linked exemplars), and a 99.9%
+// infrastructure success rate (serve.request_errors over
+// serve.requests). Windows are short — 60s/300s — because this service
+// is a benchmark harness: breaches should be demonstrable in a demo,
+// not after half an hour of sustained load.
+func DefaultSLOs() []telemetry.Objective {
+	return []telemetry.Objective{
+		{Name: "price_latency", Histogram: "span.serve.request", Threshold: 0.050,
+			Target: 0.99, ShortWindow: 60, LongWindow: 300, MaxBurn: 2},
+		{Name: "error_rate", ErrorCounter: "serve.request_errors", TotalCounter: "serve.requests",
+			Target: 0.999, ShortWindow: 60, LongWindow: 300, MaxBurn: 2},
+	}
 }
 
 // Server is the pricing service: micro-batcher + content-addressed
@@ -78,6 +105,8 @@ type Server struct {
 	flight flightGroup
 	batch  *batcher
 	engine *risk.Engine // the /risk endpoints' bulk revaluation engine
+	fleet  *farm.Fleet  // per-worker health behind /debug/farm
+	slo    *telemetry.SLOMonitor
 	mux    *http.ServeMux
 	cancel context.CancelFunc
 
@@ -137,6 +166,12 @@ func New(cfg Config) *Server {
 		// path has already touched skips the whole base column.
 		eng.Cache = s.cache
 	}
+	if eng.Fleet == nil {
+		// One fleet spans every farm run the server dispatches, so
+		// /debug/farm accumulates per-worker health across batches.
+		eng.Fleet = farm.NewFleet()
+	}
+	s.fleet = eng.Fleet
 	s.engine = eng
 	price := cfg.Price
 	if price == nil {
@@ -145,6 +180,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	s.batch = newBatcher(ctx, price, cfg.MaxBatch, cfg.MaxDelay, cfg.MaxQueue, s.reg)
+	s.startSLO(ctx)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /price", s.handlePrice)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
@@ -155,13 +191,84 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.reg))
 	s.mux.Handle("GET /metrics.json", telemetry.Handler(s.reg))
 	s.mux.Handle("GET /debug/traces", telemetry.TraceHandler(s.reg, telemetry.DefaultTraceCount))
+	s.mux.Handle("GET /debug/events", telemetry.EventsHandler(s.reg))
+	s.mux.Handle("GET /debug/slo", telemetry.SLOHandler(s.slo))
+	s.mux.HandleFunc("GET /debug/farm", s.handleFarm)
 	return s
+}
+
+// startSLO builds the burn-rate monitor from the configured (or
+// default) objectives and starts its ticker goroutine, bound to the
+// server's lifecycle context.
+func (s *Server) startSLO(ctx context.Context) {
+	if s.cfg.DisableEvents {
+		return
+	}
+	objs := s.cfg.SLOs
+	if objs == nil {
+		objs = DefaultSLOs()
+	}
+	if len(objs) == 0 {
+		return
+	}
+	mon, err := telemetry.NewSLOMonitor(s.reg, objs...)
+	if err != nil {
+		// A misdeclared objective is an operator error, not a reason to
+		// refuse to serve prices: record it and run unmonitored.
+		s.reg.Emit(telemetry.LevelError, "serve.slo.invalid", telemetry.TraceContext{},
+			telemetry.Str("err", err.Error()))
+		return
+	}
+	s.slo = mon
+	go s.sloLoop(ctx)
+}
+
+// sloLoop drives the burn-rate monitor at a 1s cadence until the server
+// stops. The ticker only paces evaluation; the samples themselves are
+// stamped from the registry clock, which is why tests drive Tick
+// directly under SetClock instead of racing this goroutine.
+func (s *Server) sloLoop(ctx context.Context) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.slo.Tick()
+		}
+	}
+}
+
+// emit records one serve-side flight-recorder event unless the
+// config disabled them.
+func (s *Server) emit(level telemetry.Level, name string, tc telemetry.TraceContext, fields ...telemetry.Field) {
+	if s.cfg.DisableEvents {
+		return
+	}
+	s.reg.Emit(level, name, tc, fields...)
+}
+
+// handleFarm serves per-worker fleet health — the /debug/farm endpoint.
+func (s *Server) handleFarm(w http.ResponseWriter, r *http.Request) {
+	workers := s.fleet.Snapshot()
+	if workers == nil {
+		workers = []farm.WorkerHealth{}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Workers []farm.WorkerHealth `json:"workers"`
+	}{workers})
 }
 
 // Handler returns the server's HTTP surface: POST /price, POST /batch,
 // GET /healthz, GET /metrics (Prometheus text format), GET /metrics.json
 // (the JSON snapshot), GET /debug/traces (slowest reassembled request
-// traces).
+// traces), GET /debug/events (the structured event log as NDJSON),
+// GET /debug/slo (burn-rate monitor status) and GET /debug/farm
+// (per-worker fleet health).
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // PriceProblem prices one problem through the full serving path —
@@ -228,6 +335,8 @@ func (s *Server) priceProblem(ctx context.Context, p *premia.Problem, wait bool)
 		req.span.End()
 		req.release() // never enqueued: no response will arrive
 		s.reg.Counter("serve.rejected.queue").Add(1)
+		s.emit(telemetry.LevelWarn, "serve.reject.queue", req.span.Context(),
+			telemetry.Num("queue_cap", float64(s.cfg.MaxQueue)))
 		s.flight.finish(key, call, flightResult{err: ErrOverloaded})
 		return risk.PriceOutcome{}, ErrOverloaded
 	}
@@ -236,6 +345,10 @@ func (s *Server) priceProblem(ctx context.Context, p *premia.Problem, wait bool)
 		req.release()
 		return s.settle(key, call, resp)
 	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.emit(telemetry.LevelWarn, "serve.request.deadline", req.span.Context(),
+				telemetry.Num("timeout_seconds", s.cfg.RequestTimeout.Seconds()))
+		}
 		// The leader's deadline expired but the batch is still pricing.
 		// Hand completion to a goroutine so waiters unblock and the
 		// result still lands in the cache — the work is not wasted.
@@ -268,6 +381,9 @@ func (s *Server) admit() error {
 	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
 		s.inflight.Add(-1)
 		s.reg.Counter("serve.rejected.inflight").Add(1)
+		s.emit(telemetry.LevelWarn, "serve.reject.inflight", telemetry.TraceContext{},
+			telemetry.Num("inflight", float64(n)),
+			telemetry.Num("limit", float64(s.cfg.MaxInflight)))
 		return ErrOverloaded
 	}
 	s.reqs.Add(1)
@@ -286,8 +402,14 @@ func (s *Server) release() {
 // the batcher running so in-flight responses are still delivered.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
+	already := s.draining
 	s.draining = true
 	s.drainMu.Unlock()
+	if !already {
+		s.emit(telemetry.LevelInfo, "serve.drain.begin", telemetry.TraceContext{},
+			telemetry.Num("inflight", float64(s.inflight.Load())))
+	}
+	drainStart := s.reg.Now()
 	done := make(chan struct{})
 	go func() {
 		s.reqs.Wait()
@@ -297,6 +419,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	if !already {
+		s.emit(telemetry.LevelInfo, "serve.drain.end", telemetry.TraceContext{},
+			telemetry.Num("waited_seconds", s.reg.Now()-drainStart))
 	}
 	s.stopped.Do(func() {
 		s.batch.close()
@@ -365,8 +491,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps serving errors onto HTTP statuses.
+// writeError maps serving errors onto HTTP statuses. Every error it
+// writes is an infrastructure failure (shed, drain, deadline, internal),
+// so it also feeds the error-rate SLO's bad-request counter — client
+// mistakes (400s) go through writeJSON directly and do not burn budget.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.reg.Counter("serve.request_errors").Add(1)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))

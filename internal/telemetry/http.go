@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -27,6 +28,7 @@ func Handler(r *Registry) http.Handler {
 //	/metrics       Prometheus text format (rank-labelled, deterministic)
 //	/metrics.json  the JSON snapshot (the former /metrics payload)
 //	/debug/traces  slowest reassembled span trees with phase breakdown
+//	/debug/events  the flight-recorder event log as filterable NDJSON
 //	/              the JSON snapshot, for backward compatibility with
 //	               the original single-handler -telemetry endpoint
 func Mux(r *Registry) *http.ServeMux {
@@ -34,6 +36,7 @@ func Mux(r *Registry) *http.ServeMux {
 	mux.Handle("/metrics", PrometheusHandler(r))
 	mux.Handle("/metrics.json", Handler(r))
 	mux.Handle("/debug/traces", TraceHandler(r, DefaultTraceCount))
+	mux.Handle("/debug/events", EventsHandler(r))
 	mux.Handle("/", Handler(r))
 	return mux
 }
@@ -105,9 +108,41 @@ func RenderTraces(r *Registry, n int) string {
 }
 
 // TraceHandler serves the slowest-n reassembled trace trees as plain
-// text — the /debug/traces endpoint.
+// text — the /debug/traces endpoint. `?trace=<16-hex-digit ID>` renders
+// just that trace (the ID format /debug/events links with), and `?n=`
+// overrides the tree count.
 func TraceHandler(r *Registry, n int) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		if s := q.Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad count %q", s), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		if s := q.Get("trace"); s != "" {
+			id, err := strconv.ParseUint(s, 16, 64)
+			if err != nil || id == 0 {
+				http.Error(w, fmt.Sprintf("bad trace ID %q: want 16 hex digits", s), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, tr := range r.Traces() {
+				if tr.TraceID == id {
+					var b strings.Builder
+					fmt.Fprintf(&b, "trace %016x  %s  %d span(s)\n", tr.TraceID, fmtDur(tr.Duration()), len(tr.Spans))
+					for _, root := range tr.Roots() {
+						writeTraceTree(&b, tr, root, 0)
+					}
+					_, _ = w.Write([]byte(b.String()))
+					return
+				}
+			}
+			http.Error(w, fmt.Sprintf("trace %016x not retained", id), http.StatusNotFound)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(RenderTraces(r, n)))
 	})

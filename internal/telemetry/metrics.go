@@ -110,6 +110,10 @@ type Histogram struct {
 	minBits atomic.Uint64 // float64 bits; valid once count > 0
 	maxBits atomic.Uint64
 	buckets [histBuckets]atomic.Int64
+
+	// ex holds per-bucket exemplars (exemplar.go), allocated on the
+	// first traced observation.
+	ex atomic.Pointer[exemplarTable]
 }
 
 // Observe records one value.
@@ -228,6 +232,7 @@ func (h *Histogram) merge(other *Histogram) {
 		}
 	}
 	h.updateExtremes(other.Min(), other.Max())
+	h.mergeExemplars(other)
 }
 
 func (h *Histogram) updateExtremes(min, max float64) {
@@ -260,6 +265,9 @@ type Stats struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Exemplars links each quantile to the nearest retained traced
+	// observation; empty when the histogram never saw a traced value.
+	Exemplars []QuantileExemplar `json:"exemplars,omitempty"`
 }
 
 // Stats returns the current summary.
@@ -267,7 +275,7 @@ func (h *Histogram) Stats() Stats {
 	if h == nil {
 		return Stats{}
 	}
-	return Stats{
+	st := Stats{
 		Count: h.Count(),
 		Sum:   h.Sum(),
 		Min:   h.Min(),
@@ -276,4 +284,6 @@ func (h *Histogram) Stats() Stats {
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
+	st.Exemplars = h.quantileExemplars(st)
+	return st
 }

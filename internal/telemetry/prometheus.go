@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -19,11 +20,13 @@ import (
 // families sort by name, series within a family by label set.
 
 // promSample is one output line: an optional name suffix (the summary
-// type's _sum/_count companions), a label set and a formatted value.
+// type's _sum/_count companions), a label set, a formatted value and an
+// optional OpenMetrics exemplar suffix.
 type promSample struct {
-	suffix string // "", "_sum" or "_count"
-	labels string // rendered label block, "" or `{rank="3"}`
-	value  string
+	suffix   string // "", "_sum" or "_count"
+	labels   string // rendered label block, "" or `{rank="3"}`
+	value    string
+	exemplar string // rendered ` # {trace_id="..."} value ts`, or ""
 }
 
 // promFamily is one metric family: a TYPE line plus its samples.
@@ -121,6 +124,35 @@ func labelBlock(kv ...string) string {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// sampleValue formats v for a sample line, guarding against values the
+// exposition line grammar cannot carry cleanly: NaN samples are dropped
+// (a NaN gauge poisons every aggregation over it) and ±Inf renders as
+// the exposition tokens "+Inf"/"-Inf".
+func sampleValue(v float64) (string, bool) {
+	switch {
+	case math.IsNaN(v):
+		return "", false
+	case math.IsInf(v, 1):
+		return "+Inf", true
+	case math.IsInf(v, -1):
+		return "-Inf", true
+	default:
+		return formatFloat(v), true
+	}
+}
+
+// renderExemplar formats the OpenMetrics exemplar suffix for quantile q
+// (` # {trace_id="<hex>"} <value> <timestamp>`), or "" when the
+// snapshot carries none for that quantile.
+func renderExemplar(exs []QuantileExemplar, q float64) string {
+	for _, e := range exs {
+		if e.Quantile == q {
+			return fmt.Sprintf(` # {trace_id="%s"} %s %s`, e.Trace, formatFloat(e.Value), formatFloat(e.When))
+		}
+	}
+	return ""
+}
+
 // WritePrometheus renders a snapshot in the Prometheus text format.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	fams := map[string]*promFamily{}
@@ -151,28 +183,49 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		add(n, "counter", rankKV(rank), strconv.FormatInt(v, 10))
 	}
 	for name, v := range s.Gauges {
-		n, rank := promName(name)
-		add(n, "gauge", rankKV(rank), formatFloat(v))
+		if val, ok := sampleValue(v); ok {
+			n, rank := promName(name)
+			add(n, "gauge", rankKV(rank), val)
+		}
 	}
 	for name, st := range s.Histograms {
 		n, rank := promName(name)
 		f := family(n, "summary")
 		base := rankKV(rank)
-		for _, q := range []struct {
-			q string
-			v float64
-		}{{"0.5", st.P50}, {"0.95", st.P95}, {"0.99", st.P99}} {
-			kv := append(append([]string{}, base...), "quantile", q.q)
-			f.samples = append(f.samples, promSample{labels: labelBlock(kv...), value: formatFloat(q.v)})
+		// A never-observed histogram has no quantiles; emitting p50=0
+		// would invent an observation, so only _sum/_count appear.
+		if st.Count > 0 {
+			for _, q := range [...]struct {
+				label string
+				q     float64
+				v     float64
+			}{{"0.5", 0.50, st.P50}, {"0.95", 0.95, st.P95}, {"0.99", 0.99, st.P99}} {
+				val, ok := sampleValue(q.v)
+				if !ok {
+					continue
+				}
+				kv := append(append([]string{}, base...), "quantile", q.label)
+				f.samples = append(f.samples, promSample{
+					labels:   labelBlock(kv...),
+					value:    val,
+					exemplar: renderExemplar(st.Exemplars, q.q),
+				})
+			}
+		}
+		sum, ok := sampleValue(st.Sum)
+		if !ok {
+			sum = "0"
 		}
 		f.samples = append(f.samples,
-			promSample{suffix: "_sum", labels: labelBlock(base...), value: formatFloat(st.Sum)},
+			promSample{suffix: "_sum", labels: labelBlock(base...), value: sum},
 			promSample{suffix: "_count", labels: labelBlock(base...), value: strconv.FormatInt(st.Count, 10)})
 	}
 	for name, st := range s.Spans {
 		n, rank := promName(name)
 		add(n+"_spans_total", "counter", rankKV(rank), strconv.FormatInt(st.Count, 10))
-		add(n+"_span_seconds_total", "counter", rankKV(rank), formatFloat(st.TotalSeconds))
+		if val, ok := sampleValue(st.TotalSeconds); ok {
+			add(n+"_span_seconds_total", "counter", rankKV(rank), val)
+		}
 	}
 
 	names := make([]string, 0, len(fams))
@@ -193,7 +246,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			return err
 		}
 		for _, smp := range f.samples {
-			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", name, smp.suffix, smp.labels, smp.value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s%s\n", name, smp.suffix, smp.labels, smp.value, smp.exemplar); err != nil {
 				return err
 			}
 		}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"net/http/httptest"
 	"regexp"
 	"strings"
@@ -9,10 +10,12 @@ import (
 )
 
 // Exposition-format line grammar: a TYPE comment or a sample line
-// `name{label="value",...} value`.
+// `name{label="value",...} value`, where value is a number or the
+// exposition tokens +Inf/-Inf (NaN never appears: the exporter drops
+// NaN samples instead of poisoning aggregations).
 var (
 	promTypeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$`)
-	promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? -?[0-9].*$`)
+	promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? (-?[0-9]|[+-]Inf).*$`)
 )
 
 func renderProm(t *testing.T, r *Registry) string {
@@ -137,6 +140,85 @@ func TestPrometheusRankFolding(t *testing.T) {
 	// One family: exactly one TYPE line for mpi_msgs_sent.
 	if got := strings.Count(out, "# TYPE mpi_msgs_sent "); got != 1 {
 		t.Errorf("mpi_msgs_sent declared %d times, want 1", got)
+	}
+}
+
+// TestPrometheusNonFinite checks the non-finite guards: a NaN gauge
+// vanishes from the exposition entirely (no sample, no orphan TYPE
+// line) while ±Inf render as the exposition tokens, and every emitted
+// line still parses.
+func TestPrometheusNonFinite(t *testing.T) {
+	r := New()
+	r.Gauge("g.nan").Set(math.NaN())
+	r.Gauge("g.posinf").Set(math.Inf(1))
+	r.Gauge("g.neginf").Set(math.Inf(-1))
+	r.Gauge("g.ok").Set(1.5)
+	out := renderProm(t, r)
+	if strings.Contains(out, "g_nan") || strings.Contains(out, "NaN") {
+		t.Errorf("NaN gauge leaked into exposition:\n%s", out)
+	}
+	for _, want := range []string{"g_posinf +Inf\n", "g_neginf -Inf\n", "g_ok 1.5\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Errorf("bad sample line: %q", line)
+		}
+	}
+}
+
+// TestPrometheusEmptyHistogram checks that a registered but never
+// observed histogram exports only its _sum/_count companions: a
+// quantile line would invent an observation that never happened.
+func TestPrometheusEmptyHistogram(t *testing.T) {
+	r := New()
+	r.Histogram("h.cold")
+	out := renderProm(t, r)
+	if strings.Contains(out, "h_cold{quantile=") {
+		t.Errorf("empty histogram emitted quantile lines:\n%s", out)
+	}
+	for _, want := range []string{"h_cold_count 0\n", "h_cold_sum 0\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusExemplarLine checks the OpenMetrics exemplar suffix on
+// summary quantile lines: trace-linked observations surface as
+// ` # {trace_id="<16hex>"} value timestamp` and still parse under the
+// sample grammar.
+func TestPrometheusExemplarLine(t *testing.T) {
+	r := New()
+	clk := 0.0
+	r.SetClock(func() float64 { return clk })
+	for i := 1; i <= 100; i++ {
+		clk = float64(i)
+		r.ObserveExemplar("lat.req", float64(i)/100, TraceContext{TraceID: uint64(i), SpanID: 1})
+	}
+	out := renderProm(t, r)
+	found := false
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "lat_req{quantile=") {
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Errorf("bad exemplar sample line: %q", line)
+		}
+		if strings.Contains(line, ` # {trace_id="`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no quantile line carries an exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `trace_id="0000000000000`) {
+		t.Errorf("exemplar trace not rendered as 16-hex:\n%s", out)
 	}
 }
 

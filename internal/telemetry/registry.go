@@ -26,6 +26,10 @@ type Registry struct {
 	// traces retains the spans of recently seen traces for /debug/traces
 	// reassembly (local spans via recordSpan, remote ones via IngestSpans).
 	traces traceTable
+
+	// events is the flight-recorder ring (event.go), allocated on first
+	// emission so registries that never emit events pay nothing.
+	events atomic.Pointer[eventLog]
 }
 
 // spanRingCap bounds the finished-span ring buffer.
@@ -131,7 +135,11 @@ func (r *Registry) recordSpan(rec SpanRecord) {
 	agg := r.spanAgg(rec.Name)
 	agg.count.Add(1)
 	agg.total.Add(rec.End - rec.Start)
-	agg.hist.Observe(rec.End - rec.Start)
+	if rec.TraceID != 0 {
+		agg.hist.ObserveExemplar(rec.End-rec.Start, rec.TraceID, rec.End)
+	} else {
+		agg.hist.Observe(rec.End - rec.Start)
+	}
 	r.traces.add(rec)
 	r.spanMu.Lock()
 	if len(r.spanRing) < spanRingCap {

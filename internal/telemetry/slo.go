@@ -1,0 +1,344 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sync"
+)
+
+// SLO burn-rate monitoring, SRE style. An Objective declares a target
+// good-fraction for a signal (a latency histogram against a threshold,
+// or an error counter against a total counter). The monitor samples the
+// cumulative good/total counts on every Tick and evaluates the *burn
+// rate* over two trailing windows:
+//
+//	burn(W) = badFraction(W) / (1 - Target)
+//
+// burn = 1 means the error budget is being spent exactly at the
+// sustainable rate; burn = 2 spends a 30-day budget in 15 days. A
+// breach requires BOTH windows to exceed MaxBurn: the short window
+// proves the problem is current, the long window proves it is not a
+// blip. Time comes from the registry clock, so the whole engine runs
+// under SetClock in tests — advance the virtual clock, call Tick, and
+// breaches are deterministic.
+//
+// Windows shorter than the monitor's history are clipped to the oldest
+// retained sample, so a cold monitor converges onto its windows instead
+// of staying blind for LongWindow seconds after boot.
+
+// Objective declares one service-level objective. Exactly one of
+// Histogram or ErrorCounter/TotalCounter must be set.
+type Objective struct {
+	// Name is one lowercase identifier segment ("price_latency"); it
+	// becomes the middle segment of the slo.<name>.* gauges.
+	Name string
+	// Histogram + Threshold declare a latency objective: a request is
+	// good when its observed value is ≤ Threshold seconds.
+	Histogram string
+	Threshold float64
+	// ErrorCounter / TotalCounter declare an error-rate objective: good
+	// = total - errors.
+	ErrorCounter string
+	TotalCounter string
+	// Target is the objective's good fraction, in (0, 1): 0.999 allows
+	// one bad request per thousand.
+	Target float64
+	// ShortWindow and LongWindow are the burn-rate windows in seconds
+	// (default 60 and 1800).
+	ShortWindow float64
+	LongWindow  float64
+	// MaxBurn is the burn rate both windows must exceed to breach
+	// (default 2).
+	MaxBurn float64
+}
+
+var sloNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func (o *Objective) fillDefaults() {
+	if o.ShortWindow == 0 {
+		o.ShortWindow = 60
+	}
+	if o.LongWindow == 0 {
+		o.LongWindow = 1800
+	}
+	if o.MaxBurn == 0 {
+		o.MaxBurn = 2
+	}
+}
+
+func (o Objective) validate() error {
+	if !sloNameRE.MatchString(o.Name) {
+		return fmt.Errorf("slo: objective name %q is not a lowercase identifier segment", o.Name)
+	}
+	latency := o.Histogram != ""
+	errs := o.ErrorCounter != "" || o.TotalCounter != ""
+	switch {
+	case latency && errs:
+		return fmt.Errorf("slo %s: set Histogram or ErrorCounter/TotalCounter, not both", o.Name)
+	case latency && o.Threshold <= 0:
+		return fmt.Errorf("slo %s: latency objective needs Threshold > 0", o.Name)
+	case !latency && (o.ErrorCounter == "" || o.TotalCounter == ""):
+		return fmt.Errorf("slo %s: error objective needs both ErrorCounter and TotalCounter", o.Name)
+	}
+	if !(o.Target > 0 && o.Target < 1) {
+		return fmt.Errorf("slo %s: Target must be in (0, 1), got %v", o.Name, o.Target)
+	}
+	if o.ShortWindow <= 0 || o.LongWindow <= 0 || o.ShortWindow > o.LongWindow {
+		return fmt.Errorf("slo %s: want 0 < ShortWindow ≤ LongWindow, got %v/%v", o.Name, o.ShortWindow, o.LongWindow)
+	}
+	if o.MaxBurn <= 0 {
+		return fmt.Errorf("slo %s: MaxBurn must be > 0, got %v", o.Name, o.MaxBurn)
+	}
+	return nil
+}
+
+// kind returns "latency" or "errors".
+func (o Objective) kind() string {
+	if o.Histogram != "" {
+		return "latency"
+	}
+	return "errors"
+}
+
+// sloSample is one Tick's cumulative reading.
+type sloSample struct {
+	when  float64
+	good  int64
+	total int64
+}
+
+// sloRingCap bounds retained samples per objective; at a 1s tick cadence
+// it covers windows up to ~68 minutes, and sparser ticks extend that
+// proportionally.
+const sloRingCap = 4096
+
+// sloState is one objective's monitor state.
+type sloState struct {
+	obj        Objective
+	ring       [sloRingCap]sloSample
+	n          int // samples stored (≤ sloRingCap)
+	next       int // ring write position
+	breached   bool
+	breachedAt float64
+
+	burnShortG *Gauge
+	burnLongG  *Gauge
+	breachedG  *Gauge
+}
+
+// latest returns the newest stored sample.
+func (s *sloState) latest() sloSample {
+	return s.ring[(s.next+sloRingCap-1)%sloRingCap]
+}
+
+// baseline returns the newest sample at least window seconds older than
+// now, or the oldest retained sample when history is shorter than the
+// window (clipped-window startup behavior).
+func (s *sloState) baseline(now, window float64) sloSample {
+	oldestIdx := (s.next + sloRingCap - s.n) % sloRingCap
+	base := s.ring[oldestIdx]
+	for i := 1; i < s.n; i++ {
+		smp := s.ring[(oldestIdx+i)%sloRingCap]
+		if now-smp.when < window {
+			break
+		}
+		base = smp
+	}
+	return base
+}
+
+// burn computes the burn rate between base and cur.
+func (s *sloState) burn(base, cur sloSample) float64 {
+	dTotal := cur.total - base.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dBad := dTotal - (cur.good - base.good)
+	if dBad <= 0 {
+		return 0
+	}
+	badFrac := float64(dBad) / float64(dTotal)
+	return badFrac / (1 - s.obj.Target)
+}
+
+// SLOWindow reports one burn window in a status snapshot.
+type SLOWindow struct {
+	Seconds float64 `json:"seconds"`
+	Burn    float64 `json:"burn"`
+}
+
+// SLOStatus is one objective's state in the /debug/slo payload.
+type SLOStatus struct {
+	Name         string    `json:"name"`
+	Kind         string    `json:"kind"`
+	Target       float64   `json:"target"`
+	Threshold    float64   `json:"threshold_seconds,omitempty"`
+	MaxBurn      float64   `json:"max_burn"`
+	Short        SLOWindow `json:"short"`
+	Long         SLOWindow `json:"long"`
+	GoodTotal    int64     `json:"good_total"`
+	SampleTotal  int64     `json:"sample_total"`
+	Breached     bool      `json:"breached"`
+	BreachedAt   float64   `json:"breached_at,omitempty"`
+	WorstExample string    `json:"worst_exemplar_trace,omitempty"`
+}
+
+// SLOMonitor evaluates a set of objectives against one registry. Create
+// with NewSLOMonitor, drive with Tick (a ticker goroutine in servers,
+// direct calls under a virtual clock in tests), read with Status or the
+// /debug/slo handler. Burn rates surface as gauges
+// (slo.<name>.burn_short, slo.<name>.burn_long, slo.<name>.breached)
+// and breach transitions emit slo.breach.begin / slo.breach.end events
+// carrying the worst above-threshold exemplar's trace ID.
+type SLOMonitor struct {
+	reg  *Registry
+	mu   sync.Mutex
+	objs []*sloState
+}
+
+// NewSLOMonitor builds a monitor for the given objectives, validating
+// and defaulting each.
+func NewSLOMonitor(reg *Registry, objs ...Objective) (*SLOMonitor, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("slo: nil registry")
+	}
+	m := &SLOMonitor{reg: reg}
+	seen := map[string]bool{}
+	for _, o := range objs {
+		o.fillDefaults()
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("slo: duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+		m.objs = append(m.objs, &sloState{
+			obj:        o,
+			burnShortG: reg.Gauge(fmt.Sprintf("slo.%s.burn_short", o.Name)),
+			burnLongG:  reg.Gauge(fmt.Sprintf("slo.%s.burn_long", o.Name)),
+			breachedG:  reg.Gauge(fmt.Sprintf("slo.%s.breached", o.Name)),
+		})
+	}
+	return m, nil
+}
+
+// measure reads the objective's cumulative good/total counts.
+func (m *SLOMonitor) measure(o Objective) (good, total int64) {
+	if o.Histogram != "" {
+		h := m.reg.Histogram(o.Histogram)
+		return h.CountAtOrBelow(o.Threshold), h.Count()
+	}
+	total = m.reg.Counter(o.TotalCounter).Value()
+	bad := m.reg.Counter(o.ErrorCounter).Value()
+	return total - bad, total
+}
+
+// Tick samples every objective at the current registry clock, updates
+// the burn gauges, and emits breach-transition events.
+func (m *SLOMonitor) Tick() {
+	now := m.reg.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.objs {
+		good, total := m.measure(s.obj)
+		s.ring[s.next] = sloSample{when: now, good: good, total: total}
+		s.next = (s.next + 1) % sloRingCap
+		if s.n < sloRingCap {
+			s.n++
+		}
+		cur := s.latest()
+		burnShort := s.burn(s.baseline(now, s.obj.ShortWindow), cur)
+		burnLong := s.burn(s.baseline(now, s.obj.LongWindow), cur)
+		s.burnShortG.Set(burnShort)
+		s.burnLongG.Set(burnLong)
+
+		breached := burnShort >= s.obj.MaxBurn && burnLong >= s.obj.MaxBurn
+		if breached != s.breached {
+			s.breached = breached
+			if breached {
+				s.breachedAt = now
+				s.breachedG.Set(1)
+				tc := TraceContext{}
+				if ex, ok := m.worstExemplar(s.obj); ok {
+					tc.TraceID = ex.TraceID
+				}
+				m.reg.Emit(LevelError, "slo.breach.begin", tc,
+					Str("objective", s.obj.Name),
+					Num("burn_short", burnShort),
+					Num("burn_long", burnLong))
+			} else {
+				s.breachedG.Set(0)
+				m.reg.Emit(LevelInfo, "slo.breach.end", TraceContext{},
+					Str("objective", s.obj.Name),
+					Num("breached_for", now-s.breachedAt))
+			}
+		}
+	}
+}
+
+// worstExemplar finds the trace of the worst retained above-threshold
+// observation for a latency objective (error objectives carry none).
+func (m *SLOMonitor) worstExemplar(o Objective) (Exemplar, bool) {
+	if o.Histogram == "" {
+		return Exemplar{}, false
+	}
+	return m.reg.Histogram(o.Histogram).WorstExemplarAbove(o.Threshold)
+}
+
+// Status snapshots every objective, in declaration order. A nil
+// monitor (SLOs disabled) reports no objectives.
+func (m *SLOMonitor) Status() []SLOStatus {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SLOStatus, 0, len(m.objs))
+	for _, s := range m.objs {
+		st := SLOStatus{
+			Name:    s.obj.Name,
+			Kind:    s.obj.kind(),
+			Target:  s.obj.Target,
+			MaxBurn: s.obj.MaxBurn,
+			Short:   SLOWindow{Seconds: s.obj.ShortWindow, Burn: s.burnShortG.Value()},
+			Long:    SLOWindow{Seconds: s.obj.LongWindow, Burn: s.burnLongG.Value()},
+		}
+		if s.obj.kind() == "latency" {
+			st.Threshold = s.obj.Threshold
+		}
+		if s.n > 0 {
+			cur := s.latest()
+			st.GoodTotal, st.SampleTotal = cur.good, cur.total
+		}
+		st.Breached = s.breached
+		if s.breached {
+			st.BreachedAt = s.breachedAt
+		}
+		if ex, ok := m.worstExemplar(s.obj); ok {
+			st.WorstExample = fmt.Sprintf("%016x", ex.TraceID)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// SLOHandler serves the monitor's status as indented JSON — the
+// /debug/slo endpoint. A nil monitor serves an empty objective list,
+// so the route stays probeable when SLO monitoring is disabled.
+func SLOHandler(m *SLOMonitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		sts := m.Status()
+		if sts == nil {
+			sts = []SLOStatus{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Objectives []SLOStatus `json:"objectives"`
+		}{sts})
+	})
+}

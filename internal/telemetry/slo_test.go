@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sloClock builds a registry on a settable virtual clock.
+func sloClock(t *testing.T) (*Registry, *float64) {
+	t.Helper()
+	r := New()
+	clk := new(float64)
+	r.SetClock(func() float64 { return *clk })
+	return r, clk
+}
+
+// TestSLOLatencyBreachCycle forces a p99 breach under the virtual
+// clock and walks the full transition: burn gauges rise, the breached
+// gauge flips, slo.breach.begin carries the worst offender's trace,
+// recovery flips everything back and logs slo.breach.end.
+func TestSLOLatencyBreachCycle(t *testing.T) {
+	r, clk := sloClock(t)
+	mon, err := NewSLOMonitor(r, Objective{
+		Name: "lat", Histogram: "lat.req", Threshold: 0.05,
+		Target: 0.99, ShortWindow: 60, LongWindow: 300, MaxBurn: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Histogram("lat.req")
+
+	mon.Tick() // t=0 baseline: nothing observed, burn 0
+	if g := r.Gauge("slo.lat.breached").Value(); g != 0 {
+		t.Fatalf("breached gauge = %v before any traffic", g)
+	}
+
+	// One second later every request is slow: instant 100× burn in both
+	// (clipped) windows.
+	*clk = 1
+	for i := 0; i < 20; i++ {
+		h.ObserveExemplar(0.5, uint64(0xbad0+i), *clk)
+	}
+	mon.Tick()
+	if bs := r.Gauge("slo.lat.burn_short").Value(); bs < 2 {
+		t.Errorf("burn_short = %v, want ≥ MaxBurn", bs)
+	}
+	if g := r.Gauge("slo.lat.breached").Value(); g != 1 {
+		t.Fatalf("breached gauge = %v, want 1", g)
+	}
+	begins := r.Events(EventFilter{Prefix: "slo.breach.begin"})
+	if len(begins) != 1 {
+		t.Fatalf("got %d slo.breach.begin events, want 1", len(begins))
+	}
+	if begins[0].Level != LevelError {
+		t.Errorf("breach level = %v, want error", begins[0].Level)
+	}
+	if begins[0].TraceID == 0 {
+		t.Error("breach event carries no exemplar trace")
+	}
+	// The trace must belong to one of the slow observations.
+	if begins[0].TraceID < 0xbad0 || begins[0].TraceID >= 0xbad0+20 {
+		t.Errorf("breach trace %x is not an above-threshold exemplar", begins[0].TraceID)
+	}
+
+	// Recovery: long window's worth of healthy traffic later, both
+	// burns drop below MaxBurn and the breach ends.
+	*clk = 400
+	for i := 0; i < 10000; i++ {
+		h.Observe(0.001)
+	}
+	mon.Tick()
+	*clk = 800
+	mon.Tick()
+	if g := r.Gauge("slo.lat.breached").Value(); g != 0 {
+		t.Fatalf("breached gauge = %v after recovery, want 0", g)
+	}
+	ends := r.Events(EventFilter{Prefix: "slo.breach.end"})
+	if len(ends) != 1 {
+		t.Fatalf("got %d slo.breach.end events, want 1", len(ends))
+	}
+	if len(r.Events(EventFilter{Prefix: "slo.breach.begin"})) != 1 {
+		t.Error("extra begin events: transitions must fire once per edge")
+	}
+}
+
+// TestSLOBurnRateMath pins the burn arithmetic: a 2% bad fraction
+// against a 99% target is exactly burn 2.
+func TestSLOBurnRateMath(t *testing.T) {
+	r, clk := sloClock(t)
+	mon, err := NewSLOMonitor(r, Objective{
+		Name: "err", ErrorCounter: "svc.errors", TotalCounter: "svc.total",
+		Target: 0.99, ShortWindow: 10, LongWindow: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Tick() // baseline at t=0: 0/0
+	*clk = 50
+	r.Counter("svc.total").Add(1000)
+	r.Counter("svc.errors").Add(20) // 2% bad
+	mon.Tick()
+	if got := r.Gauge("slo.err.burn_short").Value(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("burn_short = %v, want 2 (2%% bad / 1%% budget)", got)
+	}
+	if got := r.Gauge("slo.err.burn_long").Value(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("burn_long = %v, want 2", got)
+	}
+	// Push clearly past MaxBurn (default 2) and expect the breach.
+	*clk = 55
+	r.Counter("svc.total").Add(100)
+	r.Counter("svc.errors").Add(100)
+	mon.Tick()
+	if g := r.Gauge("slo.err.breached").Value(); g != 1 {
+		t.Errorf("breached = %v, want 1 past MaxBurn", g)
+	}
+}
+
+// TestSLOShortWindowAlone checks the two-window AND: a short burst that
+// the long window has already absorbed must not breach.
+func TestSLOShortWindowAlone(t *testing.T) {
+	r, clk := sloClock(t)
+	mon, err := NewSLOMonitor(r, Objective{
+		Name: "and", ErrorCounter: "a.errors", TotalCounter: "a.total",
+		Target: 0.9, ShortWindow: 10, LongWindow: 1000, MaxBurn: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long history of good traffic.
+	tot := r.Counter("a.total")
+	for i := 0; i < 20; i++ {
+		*clk = float64(i * 60)
+		tot.Add(10000)
+		mon.Tick()
+	}
+	// A burst: 100% bad over the short window, a drop in the long one.
+	*clk = 20 * 60
+	tot.Add(10)
+	r.Counter("a.errors").Add(10)
+	mon.Tick()
+	if bs := r.Gauge("slo.and.burn_short").Value(); bs < 2 {
+		t.Fatalf("burn_short = %v, want ≥ 2 (the burst is current)", bs)
+	}
+	if bl := r.Gauge("slo.and.burn_long").Value(); bl >= 2 {
+		t.Fatalf("burn_long = %v, want < 2 (long window absorbs the blip)", bl)
+	}
+	if g := r.Gauge("slo.and.breached").Value(); g != 0 {
+		t.Errorf("breached = %v: a blip must not breach without the long window", g)
+	}
+}
+
+// TestSLOValidation rejects the misdeclarations NewSLOMonitor guards.
+func TestSLOValidation(t *testing.T) {
+	r := New()
+	bad := []Objective{
+		{Name: "Bad-Name", Histogram: "h.x", Threshold: 1, Target: 0.9},
+		{Name: "nokind", Target: 0.9},
+		{Name: "both", Histogram: "h.x", Threshold: 1, ErrorCounter: "e.c", TotalCounter: "t.c", Target: 0.9},
+		{Name: "target", Histogram: "h.x", Threshold: 1, Target: 1.5},
+		{Name: "windows", Histogram: "h.x", Threshold: 1, Target: 0.9, ShortWindow: 100, LongWindow: 10},
+		{Name: "noth", Histogram: "h.x", Target: 0.9},
+	}
+	for _, o := range bad {
+		if _, err := NewSLOMonitor(r, o); err == nil {
+			t.Errorf("objective %+v validated, want error", o)
+		}
+	}
+	dup := Objective{Name: "same", Histogram: "h.x", Threshold: 1, Target: 0.9}
+	if _, err := NewSLOMonitor(r, dup, dup); err == nil {
+		t.Error("duplicate objective names validated, want error")
+	}
+	if _, err := NewSLOMonitor(nil, dup); err == nil {
+		t.Error("nil registry accepted")
+	}
+}
+
+// TestSLOHandler checks the /debug/slo payload shape and the nil-monitor
+// degradation.
+func TestSLOHandler(t *testing.T) {
+	r, clk := sloClock(t)
+	mon, err := NewSLOMonitor(r,
+		Objective{Name: "lat", Histogram: "lat.req", Threshold: 0.05, Target: 0.99},
+		Objective{Name: "err", ErrorCounter: "e.c", TotalCounter: "t.c", Target: 0.999},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Histogram("lat.req").ObserveExemplar(0.2, 0xcafe, 1)
+	*clk = 1
+	mon.Tick()
+	srv := httptest.NewServer(SLOHandler(mon))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Objectives []SLOStatus `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Objectives) != 2 {
+		t.Fatalf("got %d objectives, want 2", len(body.Objectives))
+	}
+	lat := body.Objectives[0]
+	if lat.Name != "lat" || lat.Kind != "latency" || lat.Threshold != 0.05 {
+		t.Errorf("latency status = %+v", lat)
+	}
+	if lat.WorstExample != "000000000000cafe" {
+		t.Errorf("worst exemplar trace = %q, want the slow observation's", lat.WorstExample)
+	}
+	if body.Objectives[1].Kind != "errors" {
+		t.Errorf("second objective kind = %q, want errors", body.Objectives[1].Kind)
+	}
+
+	// A nil monitor (SLOs disabled) serves an empty list, not a panic.
+	nilSrv := httptest.NewServer(SLOHandler(nil))
+	defer nilSrv.Close()
+	nresp, err := nilSrv.Client().Get(nilSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nresp.Body.Close()
+	var raw strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := nresp.Body.Read(buf)
+		raw.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(raw.String(), `"objectives": []`) {
+		t.Errorf("nil monitor payload = %s, want empty objectives array", raw.String())
+	}
+}

@@ -4,8 +4,10 @@
 # Re-runs the allocation-critical benchmarks with -benchmem and compares
 # bytes/op and allocs/op against the budgets recorded in
 # BENCH_alloc.json: the mpi codec paths (engineered to zero allocs), the
-# served-request path (pooled descriptors + object passthrough), and the
-# Monte Carlo kernel path (pooled arenas + struct-of-arrays buffers).
+# served-request path (pooled descriptors + object passthrough), the
+# Monte Carlo kernel path (pooled arenas + struct-of-arrays buffers),
+# and the flight recorder's event emit (slot-resident ring buffers,
+# budgeted at one alloc per emit for the field copy).
 # allocs/op must not exceed its budget at all; bytes/op gets 25% + 16B
 # headroom for size-class noise. Any regression fails the build — that
 # is the point: the allocation-free hot paths stay that way by machine
@@ -17,18 +19,23 @@ cd "$(dirname "$0")/.."
 
 BUDGETS=BENCH_alloc.json
 BENCHTIME="${BENCHTIME:-1000x}"
-# The serve benchmark coalesces concurrent requests, so it needs enough
-# iterations to settle; the kernel benchmark prices 2M paths per op, so
-# a handful of iterations is already seconds of work.
-SERVE_BENCHTIME="${SERVE_BENCHTIME:-300x}"
+# The serve benchmark coalesces concurrent requests and carries one-time
+# server setup (fleet book, SLO monitor, exemplar tables), so it needs
+# enough iterations for both to settle; the kernel benchmark prices 2M
+# paths per op, so a handful of iterations is already seconds of work.
+# The event benchmark's op is ~200ns but its first emit allocates the
+# whole 2048-slot ring, so it needs volume to amortize that to zero.
+SERVE_BENCHTIME="${SERVE_BENCHTIME:-2000x}"
 KERNEL_BENCHTIME="${KERNEL_BENCHTIME:-5x}"
 VAR_BENCHTIME="${VAR_BENCHTIME:-200x}"
+EVENT_BENCHTIME="${EVENT_BENCHTIME:-100000x}"
 
 out=$(go test -bench 'BenchmarkFrameCodec|BenchmarkHubRoundTrip' -benchmem -benchtime "$BENCHTIME" -run '^$' ./internal/mpi)
 out="$out
 $(go test -bench 'BenchmarkServeTracing' -benchmem -benchtime "$SERVE_BENCHTIME" -run '^$' ./internal/serve)
 $(go test -bench 'BenchmarkKernelMCEuro/threads=1$' -benchmem -benchtime "$KERNEL_BENCHTIME" -run '^$' ./internal/premia)
-$(go test -bench 'BenchmarkVaRDeltaGamma$' -benchmem -benchtime "$VAR_BENCHTIME" -run '^$' ./internal/var)"
+$(go test -bench 'BenchmarkVaRDeltaGamma$' -benchmem -benchtime "$VAR_BENCHTIME" -run '^$' ./internal/var)
+$(go test -bench 'BenchmarkEventEmit$' -benchmem -benchtime "$EVENT_BENCHTIME" -run '^$' ./internal/telemetry)"
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk -v budgets="$BUDGETS" '

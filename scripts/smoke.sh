@@ -42,7 +42,16 @@ curl -fsS "http://$ADDR/metrics.json" >"$tmp/metrics.json"
 grep -q '"counters"' "$tmp/metrics.json" || { echo "smoke: /metrics.json is not a JSON snapshot" >&2; exit 1; }
 curl -fsS "http://$ADDR/debug/traces" >"$tmp/traces"
 grep -q 'serve.request' "$tmp/traces" || { echo "smoke: /debug/traces shows no serve.request trace" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/events?level=warn&n=32" >"$tmp/events" || { echo "smoke: /debug/events not mounted" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/debug/events?level=bogus")
+[ "$code" = "400" ] || { echo "smoke: /debug/events accepted a bad level filter (got $code)" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/slo" >"$tmp/slo"
+grep -q '"objectives"' "$tmp/slo" || { echo "smoke: /debug/slo gave no objectives" >&2; exit 1; }
+grep -q 'price_latency' "$tmp/slo" || { echo "smoke: /debug/slo is missing the default latency objective" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/farm" >"$tmp/farm"
+grep -q '"workers"' "$tmp/farm" || { echo "smoke: /debug/farm gave no workers array" >&2; exit 1; }
+grep -q '"rank"' "$tmp/farm" || { echo "smoke: /debug/farm shows no worker rows after pricing" >&2; exit 1; }
 curl -fsS "http://$ADDR/debug/pprof/cmdline" >/dev/null || { echo "smoke: /debug/pprof not mounted" >&2; exit 1; }
 curl -fsS "http://$ADDR/healthz" >/dev/null
 
-echo "smoke: price, /risk, /risk/report, /metrics, /metrics.json, /debug/traces, /debug/pprof, /healthz all OK"
+echo "smoke: price, /risk, /risk/report, /metrics, /metrics.json, /debug/traces, /debug/events, /debug/slo, /debug/farm, /debug/pprof, /healthz all OK"
